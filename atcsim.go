@@ -1,0 +1,145 @@
+// Package atcsim is a trace-driven CPU memory-hierarchy simulator built to
+// reproduce "Address Translation Conscious Caching and Prefetching for High
+// Performance Cache Hierarchy" (Vasudha & Panda, ISPASS 2022).
+//
+// The simulator models an out-of-order core's retirement behaviour (352-entry
+// ROB with head-stall attribution), a two-level TLB hierarchy with paging
+// structure caches, a five-level radix page table whose PTEs live at real
+// physical addresses and are read through the data caches, a three-level
+// cache hierarchy with pluggable replacement policies (LRU, SRRIP, DRRIP,
+// SHiP, Hawkeye and the paper's T-DRRIP / T-SHiP / T-Hawkeye), hardware
+// prefetchers (IPCP, SPP, Bingo, ISB and the paper's ATP / TEMPO), and a
+// DDR5-like DRAM channel.
+//
+// Quick start:
+//
+//	tr, _ := atcsim.NewTrace("pr", 400_000, 1)
+//	cfg := atcsim.DefaultConfig()
+//	base, _ := atcsim.Run(cfg, tr)
+//	cfg.Apply(atcsim.TEMPO) // T-DRRIP + T-SHiP + ATP + TEMPO
+//	enh, _ := atcsim.Run(cfg, tr)
+//	fmt.Printf("speedup: %.2f%%\n", 100*(enh.SpeedupOver(base)-1))
+//
+// See examples/ for runnable programs and internal/experiments for the code
+// regenerating every table and figure of the paper.
+package atcsim
+
+import (
+	"encoding/json"
+	"io"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/repl"
+	"atcsim/internal/system"
+	"atcsim/internal/trace"
+	"atcsim/internal/workloads"
+)
+
+// Config describes a simulated machine and run; DefaultConfig reproduces the
+// paper's Table I parameters.
+type Config = system.Config
+
+// Result is the outcome of a simulation run, with per-core stall/TLB/walker
+// statistics and per-level cache counters.
+type Result = system.Result
+
+// CoreResult is one hardware thread's measured statistics.
+type CoreResult = system.CoreResult
+
+// Enhancement selects the paper's cumulative configurations
+// (Baseline → TDRRIP → TSHiP → ATP → TEMPO, Fig. 14).
+type Enhancement = system.Enhancement
+
+// Enhancement levels, cumulative.
+const (
+	Baseline = system.Baseline
+	TDRRIP   = system.TDRRIP
+	TSHiP    = system.TSHiP
+	ATP      = system.ATP
+	TEMPO    = system.TEMPO
+)
+
+// Trace is a dynamic instruction stream.
+type Trace = trace.Trace
+
+// AccessClass is the translation/replay taxonomy used by per-class cache
+// statistics (Result.LLCMPKI etc.).
+type AccessClass = mem.Class
+
+// Access classes, as classified by the simulator.
+const (
+	ClassNonReplay  = mem.ClassNonReplay
+	ClassReplay     = mem.ClassReplay
+	ClassTransLeaf  = mem.ClassTransLeaf
+	ClassTransUpper = mem.ClassTransUpper
+	ClassPrefetch   = mem.ClassPrefetch
+	ClassWriteback  = mem.ClassWriteback
+	NumClasses      = mem.NumClasses
+)
+
+// WorkloadSpec describes one synthetic benchmark (name, suite, STLB-MPKI
+// category per the paper's Table II).
+type WorkloadSpec = workloads.Spec
+
+// ReplacementPolicy is the cache replacement policy interface; custom
+// policies can be registered with RegisterPolicy and selected by name in
+// Config (see examples/custompolicy).
+type ReplacementPolicy = repl.Policy
+
+// PolicyAccess describes one cache access from a policy's point of view.
+type PolicyAccess = repl.Access
+
+// DefaultConfig returns the paper's Table I machine: 352-entry-ROB core,
+// 64-entry DTLB, 2048-entry STLB, 48KB L1D, 512KB L2 (DRRIP), 2MB LLC
+// (SHiP), DDR5 DRAM.
+func DefaultConfig() Config { return system.DefaultConfig() }
+
+// Run simulates a single core executing tr.
+func Run(cfg Config, tr *Trace) (*Result, error) { return system.Run(cfg, tr) }
+
+// RunSMT simulates a 2-way SMT core: both threads share the cache and TLB
+// hierarchy and split the ROB.
+func RunSMT(cfg Config, t0, t1 *Trace) (*Result, error) { return system.RunSMT(cfg, t0, t1) }
+
+// RunMulti simulates one core per trace with private L1/L2 and a shared LLC
+// (scaled at 2MB/core) and DRAM channel.
+func RunMulti(cfg Config, traces ...*Trace) (*Result, error) {
+	return system.RunMulti(cfg, traces)
+}
+
+// NewTrace synthesizes approximately n instructions of the named benchmark
+// (see Benchmarks) with the given seed.
+func NewTrace(benchmark string, n int, seed int64) (*Trace, error) {
+	s, err := workloads.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(n, seed), nil
+}
+
+// SaveTrace serializes a trace in the simulator's binary format, so a
+// synthesized workload can be reused across processes like a ChampSim
+// trace file.
+func SaveTrace(w io.Writer, t *Trace) error { return t.Write(w) }
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// MarshalResult renders a Result as indented JSON for external tooling.
+func MarshalResult(r *Result) ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Benchmarks returns the paper's benchmark suite in Table II order.
+func Benchmarks() []string { return workloads.Names() }
+
+// Workloads returns the full benchmark specs in Table II order.
+func Workloads() []WorkloadSpec { return workloads.All() }
+
+// Policies lists the registered replacement-policy names usable in Config.
+func Policies() []string { return repl.Names() }
+
+// RegisterPolicy adds a custom replacement policy usable by name in Config.
+// The factory receives the cache geometry (sets × ways). It panics if the
+// name is already taken.
+func RegisterPolicy(name string, factory func(sets, ways int) ReplacementPolicy) {
+	repl.Register(name, factory)
+}

@@ -1,0 +1,166 @@
+package atcsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchmarksRegistry(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("Benchmarks() = %v", names)
+	}
+	specs := Workloads()
+	if len(specs) != len(names) {
+		t.Fatalf("Workloads() = %d entries", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != names[i] {
+			t.Errorf("spec %d name %q != %q", i, s.Name, names[i])
+		}
+	}
+}
+
+func TestNewTraceUnknown(t *testing.T) {
+	if _, err := NewTrace("gcc", 1000, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPoliciesIncludePaperSet(t *testing.T) {
+	have := map[string]bool{}
+	for _, p := range Policies() {
+		have[p] = true
+	}
+	for _, want := range []string{"lru", "srrip", "drrip", "ship", "hawkeye", "t-drrip", "t-ship", "t-hawkeye"} {
+		if !have[want] {
+			t.Errorf("policy %q missing", want)
+		}
+	}
+}
+
+func TestEndToEndEnhancementWin(t *testing.T) {
+	tr, err := NewTrace("cc", 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Instructions = 80_000
+	cfg.Warmup = 40_000
+	base, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Apply(TEMPO)
+	enh, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enh.SpeedupOver(base) <= 1.0 {
+		t.Errorf("enhancements speedup %.4f not > 1 on cc", enh.SpeedupOver(base))
+	}
+	if enh.TranslationHitRate() < base.TranslationHitRate() {
+		t.Error("enhancements lowered the translation hit rate")
+	}
+}
+
+func TestRunMultiVariadic(t *testing.T) {
+	t0, _ := NewTrace("xalancbmk", 40_000, 1)
+	t1, _ := NewTrace("tc", 40_000, 2)
+	cfg := DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Warmup = 5_000
+	res, err := RunMulti(cfg, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 2 {
+		t.Fatalf("cores = %d", len(res.Cores))
+	}
+}
+
+func TestRegisterPolicyRoundTrip(t *testing.T) {
+	RegisterPolicy("always-way0", func(sets, ways int) ReplacementPolicy {
+		return way0Policy{}
+	})
+	tr, _ := NewTrace("xalancbmk", 30_000, 1)
+	cfg := DefaultConfig()
+	cfg.Instructions = 15_000
+	cfg.Warmup = 5_000
+	cfg.LLC.Policy = "always-way0"
+	if _, err := Run(cfg, tr); err != nil {
+		t.Fatalf("custom policy run: %v", err)
+	}
+}
+
+type way0Policy struct{}
+
+func (way0Policy) Name() string { return "always-way0" }
+func (way0Policy) Victim(set int, _ *PolicyAccess, evictable func(int) bool) int {
+	if evictable(0) {
+		return 0
+	}
+	return 1
+}
+func (way0Policy) Insert(int, int, *PolicyAccess) {}
+func (way0Policy) Hit(int, int, *PolicyAccess)    {}
+func (way0Policy) Evicted(int, int)               {}
+
+func TestTraceSaveLoadThroughFacade(t *testing.T) {
+	tr, err := NewTrace("tc", 10_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Insts) != len(tr.Insts) {
+		t.Fatalf("round trip lost data: %s/%d", got.Name, len(got.Insts))
+	}
+	// A loaded trace simulates identically to the original.
+	cfg := DefaultConfig()
+	cfg.Instructions = 5_000
+	cfg.Warmup = 1_000
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores[0].Cycles != b.Cores[0].Cycles {
+		t.Error("loaded trace simulated differently")
+	}
+}
+
+func TestMarshalResult(t *testing.T) {
+	tr, _ := NewTrace("xalancbmk", 20_000, 1)
+	cfg := DefaultConfig()
+	cfg.Instructions = 10_000
+	cfg.Warmup = 2_000
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["Cores"]; !ok {
+		t.Error("JSON missing Cores")
+	}
+	if _, ok := decoded["LLC"]; !ok {
+		t.Error("JSON missing LLC")
+	}
+}

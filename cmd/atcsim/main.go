@@ -1,0 +1,132 @@
+// Command atcsim runs a single simulation of one benchmark under a chosen
+// configuration and prints the headline statistics.
+//
+// Examples:
+//
+//	atcsim -workload pr
+//	atcsim -workload mcf -enhance tempo -instructions 500000
+//	atcsim -workload cc -llc-policy hawkeye -l2-prefetcher spp
+//	atcsim -workload pr -smt xalancbmk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atcsim"
+	"atcsim/internal/mem"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "pr", "benchmark name ("+strings.Join(atcsim.Benchmarks(), ", ")+")")
+		smt       = flag.String("smt", "", "second benchmark for a 2-way SMT run")
+		insts     = flag.Int("instructions", 300_000, "measured instructions per core")
+		warmup    = flag.Int("warmup", 100_000, "warmup instructions per core")
+		seed      = flag.Int64("seed", 1, "workload synthesis seed")
+		enhance   = flag.String("enhance", "baseline", "enhancement level: baseline, t-drrip, t-ship, atp, tempo")
+		l2Policy  = flag.String("l2-policy", "", "override L2 replacement policy")
+		llcPolicy = flag.String("llc-policy", "", "override LLC replacement policy")
+		l1dPf     = flag.String("l1d-prefetcher", "none", "L1D prefetcher (none, nextline, ipcp)")
+		l2Pf      = flag.String("l2-prefetcher", "none", "L2 prefetcher (none, nextline, spp, bingo, isb)")
+		stlb      = flag.Int("stlb", 2048, "STLB entries")
+		recall    = flag.Bool("recall", false, "track recall distances")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
+	)
+	flag.Parse()
+
+	cfg := atcsim.DefaultConfig()
+	cfg.Instructions = *insts
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.STLB.Entries = *stlb
+	cfg.L1DPrefetcher = *l1dPf
+	cfg.L2Prefetcher = *l2Pf
+	cfg.TrackRecall = *recall
+
+	levels := map[string]atcsim.Enhancement{
+		"baseline": atcsim.Baseline, "t-drrip": atcsim.TDRRIP,
+		"t-ship": atcsim.TSHiP, "atp": atcsim.ATP, "tempo": atcsim.TEMPO,
+	}
+	lvl, ok := levels[strings.ToLower(*enhance)]
+	if !ok {
+		fail("unknown enhancement %q", *enhance)
+	}
+	cfg.Apply(lvl)
+	if *l2Policy != "" {
+		cfg.L2.Policy = *l2Policy
+	}
+	if *llcPolicy != "" {
+		cfg.LLC.Policy = *llcPolicy
+	}
+
+	traceLen := *insts + *warmup
+	t0, err := atcsim.NewTrace(*workload, traceLen, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var res *atcsim.Result
+	if *smt != "" {
+		t1, err := atcsim.NewTrace(*smt, traceLen, *seed+1)
+		if err != nil {
+			fail("%v", err)
+		}
+		res, err = atcsim.RunSMT(cfg, t0, t1)
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		res, err = atcsim.Run(cfg, t0)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *asJSON {
+		out, err := atcsim.MarshalResult(res)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	report(res)
+}
+
+func report(res *atcsim.Result) {
+	for i := range res.Cores {
+		c := &res.Cores[i]
+		fmt.Printf("core %d (%s): IPC %.4f over %d cycles\n", i, c.Workload, c.IPC, c.Cycles)
+		fmt.Printf("  STLB MPKI %.2f (misses %d), DTLB MPKI %.2f\n",
+			c.STLBMPKI(), c.MMU.STLBMisses,
+			1000*float64(c.MMU.DTLBMisses)/float64(c.Instructions))
+		fmt.Printf("  ROB head stalls: translation %d, replay %d, non-replay %d cycles\n",
+			c.CPU.StallCycles[0], c.CPU.StallCycles[1], c.CPU.StallCycles[2])
+		ls := &c.Walker.LeafService
+		fmt.Printf("  leaf translations serviced: L1D %.1f%%  L2C %.1f%%  LLC %.1f%%  DRAM %.1f%%\n",
+			100*ls.Fraction(mem.LvlL1D), 100*ls.Fraction(mem.LvlL2),
+			100*ls.Fraction(mem.LvlLLC), 100*ls.Fraction(mem.LvlDRAM))
+		rs := &c.ReplayService
+		if rs.Total() > 0 {
+			fmt.Printf("  replay loads serviced:      L1D %.1f%%  L2C %.1f%%  LLC %.1f%%  DRAM %.1f%%\n",
+				100*rs.Fraction(mem.LvlL1D), 100*rs.Fraction(mem.LvlL2),
+				100*rs.Fraction(mem.LvlLLC), 100*rs.Fraction(mem.LvlDRAM))
+		}
+	}
+	fmt.Printf("caches (MPKI): L1D %.2f | L2 %.2f | LLC %.2f (replay %.2f, leaf-PTE %.2f)\n",
+		res.L1DMPKI(mem.ClassNonReplay)+res.L1DMPKI(mem.ClassReplay),
+		res.L2MPKI(mem.ClassNonReplay)+res.L2MPKI(mem.ClassReplay),
+		res.LLCMPKI(mem.ClassNonReplay)+res.LLCMPKI(mem.ClassReplay),
+		res.LLCMPKI(mem.ClassReplay), res.LLCMPKI(mem.ClassTransLeaf))
+	fmt.Printf("on-chip translation hit rate: %.2f%%\n", 100*res.TranslationHitRate())
+	fmt.Printf("DRAM: %d reads, %d writes, avg read latency %.0f cycles, TEMPO prefetches %d\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.AvgReadLatency(), res.DRAM.TEMPOIssued)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "atcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command figures regenerates the paper's tables and figures and prints
+// them as text reports. Use -list to see the experiment identifiers, -id to
+// run one experiment, or no arguments to run the full suite (minutes).
+//
+//	figures -list
+//	figures -id fig14
+//	figures -scale quick
+//	figures -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atcsim/internal/experiments"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "", "run a single experiment (see -list)")
+		list     = flag.Bool("list", false, "list experiment identifiers")
+		scale    = flag.String("scale", "full", "experiment scale: full or quick")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
+		csvDir   = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	var sc experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "full":
+		sc = experiments.Full()
+	case "quick":
+		sc = experiments.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	var reports []*experiments.Report
+	if *id != "" {
+		rep, err := experiments.ByID(sc, *id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		reports = []*experiments.Report{rep}
+	} else {
+		reports = experiments.All(sc)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, rep := range reports {
+		if *csvDir != "" && rep.Table != nil {
+			path := *csvDir + "/" + rep.ID + ".csv"
+			if err := os.WriteFile(path, []byte(rep.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n```\n%s```\n\n", rep.ID, rep.Title, rep.Table)
+			for _, n := range rep.Notes {
+				fmt.Printf("> %s\n", n)
+			}
+			fmt.Println()
+		} else {
+			fmt.Println(rep)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command tracedump synthesizes a benchmark trace and prints its
+// composition and, optionally, the first instructions — useful for
+// inspecting what the workload generators emit.
+//
+//	tracedump -workload pr -n 100000
+//	tracedump -workload mcf -show 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atcsim"
+	"atcsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "pr", "benchmark name")
+		n        = flag.Int("n", 100_000, "instructions to synthesize")
+		seed     = flag.Int64("seed", 1, "synthesis seed")
+		show     = flag.Int("show", 0, "print the first N instructions")
+		save     = flag.String("save", "", "write the trace to this file")
+		load     = flag.String("load", "", "read the trace from this file instead of synthesizing")
+	)
+	flag.Parse()
+
+	var tr *atcsim.Trace
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fail(ferr)
+		}
+		defer f.Close()
+		tr, err = atcsim.LoadTrace(f)
+	} else {
+		tr, err = atcsim.NewTrace(*workload, *n, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if err := atcsim.SaveTrace(f, tr); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *save)
+	}
+	st := tr.Stats()
+	fmt.Printf("trace %s: %d instructions\n", tr.Name, st.Total)
+	fmt.Printf("  loads    %8d (%.1f%%)\n", st.Loads, pct(st.Loads, st.Total))
+	fmt.Printf("  stores   %8d (%.1f%%)\n", st.Stores, pct(st.Stores, st.Total))
+	fmt.Printf("  branches %8d (%.1f%%)\n", st.Branches, pct(st.Branches, st.Total))
+	fmt.Printf("  alu      %8d (%.1f%%)\n", st.ALU, pct(st.ALU, st.Total))
+	fmt.Printf("  data footprint: %d pages (%.1f MB)\n", st.Pages, float64(st.Pages)*4/1024)
+
+	for i := 0; i < *show && i < len(tr.Insts); i++ {
+		in := &tr.Insts[i]
+		switch in.Op {
+		case trace.OpLoad, trace.OpStore:
+			fmt.Printf("%6d  ip=%#x %-6s addr=%#x\n", i, in.IP, in.Op, in.Addr)
+		case trace.OpBranch:
+			fmt.Printf("%6d  ip=%#x %-6s taken=%v\n", i, in.IP, in.Op, in.Taken)
+		default:
+			fmt.Printf("%6d  ip=%#x %-6s\n", i, in.IP, in.Op)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+	os.Exit(1)
+}
+
+func pct(x, tot int) float64 {
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(x) / float64(tot)
+}

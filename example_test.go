@@ -1,0 +1,45 @@
+package atcsim_test
+
+import (
+	"fmt"
+
+	"atcsim"
+)
+
+// ExampleRun demonstrates the headline experiment: the same workload on the
+// paper's baseline machine and with the full enhancement stack.
+func ExampleRun() {
+	tr, err := atcsim.NewTrace("pr", 120_000, 1)
+	if err != nil {
+		panic(err)
+	}
+	cfg := atcsim.DefaultConfig()
+	cfg.Instructions = 60_000
+	cfg.Warmup = 20_000
+
+	base, _ := atcsim.Run(cfg, tr)
+	cfg.Apply(atcsim.TEMPO)
+	enh, _ := atcsim.Run(cfg, tr)
+
+	fmt.Println(enh.SpeedupOver(base) > 1.0)
+	// Output: true
+}
+
+// ExampleNewTrace shows workload synthesis and inspection.
+func ExampleNewTrace() {
+	tr, err := atcsim.NewTrace("tc", 10_000, 1)
+	if err != nil {
+		panic(err)
+	}
+	st := tr.Stats()
+	fmt.Println(tr.Name, st.Total > 9_000, st.Loads > 0)
+	// Output: tc true true
+}
+
+// ExampleConfig_Apply walks the paper's cumulative enhancement ladder.
+func ExampleConfig_Apply() {
+	cfg := atcsim.DefaultConfig()
+	cfg.Apply(atcsim.TSHiP)
+	fmt.Println(cfg.L2.Policy, cfg.LLC.Policy, cfg.L2.ATP)
+	// Output: t-drrip t-ship false
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate PageRank on the paper's baseline machine, then with
+// the full translation-conscious enhancement stack, and report the speedup
+// — the repository's one-minute version of the paper's headline result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atcsim"
+)
+
+func main() {
+	// Synthesize ~500K instructions of the pr benchmark (the paper's
+	// highest STLB-MPKI workload).
+	tr, err := atcsim.NewTrace("pr", 500_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := atcsim.DefaultConfig() // Table I machine
+	cfg.Instructions = 300_000    // measure 300K after 100K warmup
+	cfg.Warmup = 100_000
+	base, err := atcsim.Run(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Apply(atcsim.TEMPO) // T-DRRIP + T-SHiP + ATP + TEMPO
+	enh, err := atcsim.Run(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", tr.Name)
+	fmt.Printf("baseline     IPC %.4f, STLB MPKI %.1f, on-chip translation hit rate %.1f%%\n",
+		base.IPC(), base.STLBMPKI(), 100*base.TranslationHitRate())
+	fmt.Printf("enhancements IPC %.4f, on-chip translation hit rate %.1f%%\n",
+		enh.IPC(), 100*enh.TranslationHitRate())
+	fmt.Printf("speedup: %+.1f%%\n", 100*(enh.SpeedupOver(base)-1))
+	fmt.Printf("ROB head stalls (translation+replay): %d -> %d cycles\n",
+		base.StallCycles(0)+base.StallCycles(1),
+		enh.StallCycles(0)+enh.StallCycles(1))
+}

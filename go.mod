@@ -1,0 +1,3 @@
+module atcsim
+
+go 1.22

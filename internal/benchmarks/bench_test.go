@@ -1,0 +1,97 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/dram"
+	"atcsim/internal/mem"
+	"atcsim/internal/ptw"
+	"atcsim/internal/tlb"
+	"atcsim/internal/vm"
+)
+
+func buildHierarchy(b *testing.B, policy string) *cache.Cache {
+	b.Helper()
+	ch := dram.NewController(dram.DefaultConfig())
+	llc, err := cache.New(cache.Config{
+		Name: "LLC", Level: mem.LvlLLC, SizeBytes: 2 << 20, Ways: 16,
+		Latency: 20, Policy: policy,
+	}, cache.DRAMAdapter{Read: ch.Read, Write: ch.Write})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Level: mem.LvlL2, SizeBytes: 512 << 10, Ways: 8,
+		Latency: 10, Policy: "drrip",
+	}, llc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l1, err := cache.New(cache.Config{
+		Name: "L1D", Level: mem.LvlL1D, SizeBytes: 48 << 10, Ways: 12,
+		Latency: 5, Policy: "lru",
+	}, l2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l1
+}
+
+// BenchmarkCacheAccessHit measures the steady-state L1 hit path.
+func BenchmarkCacheAccessHit(b *testing.B) {
+	l1 := buildHierarchy(b, "ship")
+	req := &mem.Request{Addr: 0x1000, Kind: mem.Load, IP: 1}
+	l1.Access(req, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Access(req, int64(i)*10+100)
+	}
+}
+
+// BenchmarkCacheAccessMissStream measures the full miss path through three
+// levels into DRAM with a striding address.
+func BenchmarkCacheAccessMissStream(b *testing.B) {
+	l1 := buildHierarchy(b, "ship")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &mem.Request{Addr: mem.Addr(i) * 8192, Kind: mem.Load, IP: 2}
+		l1.Access(req, int64(i)*50)
+	}
+}
+
+// BenchmarkDRAMRead measures a raw channel read.
+func BenchmarkDRAMRead(b *testing.B) {
+	ch := dram.New(dram.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Read(&mem.Request{Addr: mem.Addr(i) * 4096, Kind: mem.Load}, int64(i)*20)
+	}
+}
+
+// BenchmarkPageWalk measures a PSC-warm page walk through the hierarchy.
+func BenchmarkPageWalk(b *testing.B) {
+	alloc, err := vm.NewFrameAllocator(33, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := vm.NewPageTable(alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	psc := tlb.NewPSC(tlb.DefaultPSCSizes())
+	l1 := buildHierarchy(b, "ship")
+	w, err := ptw.NewWalker(pt, psc, l1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Wrap within 1M pages so arbitrarily large b.N cannot exhaust the
+		// physical frame allocator.
+		va := mem.Addr(i%(1<<20)) * mem.PageSize
+		if _, err := w.Walk(va, 7, int64(i)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := MustNew(Config{})
+	cfg := c.Config()
+	if cfg.ROBSize != 352 || cfg.DispatchWidth != 6 || cfg.RetireWidth != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if _, err := New(Config{ROBSize: -1}); err == nil {
+		t.Error("negative ROB accepted")
+	}
+}
+
+func TestDispatchBandwidth(t *testing.T) {
+	c := MustNew(Config{})
+	// Six instructions dispatch in cycle 0, the seventh in cycle 1.
+	for i := 0; i < 6; i++ {
+		if d := c.NextDispatch(); d != 0 {
+			t.Fatalf("inst %d dispatch = %d", i, d)
+		}
+		c.Dispatch(Entry{Complete: 1})
+	}
+	if d := c.NextDispatch(); d != 1 {
+		t.Errorf("7th dispatch = %d, want 1", d)
+	}
+}
+
+func TestRetireBandwidthBoundsIPC(t *testing.T) {
+	c := MustNew(Config{})
+	// 4000 single-cycle instructions: retire width 4 → at least 1000 cycles.
+	for i := 0; i < 4000; i++ {
+		d := c.NextDispatch()
+		c.Dispatch(Entry{Complete: d + 1})
+	}
+	cycles := c.Drain()
+	if cycles < 1000 {
+		t.Errorf("cycles = %d, want >= 1000 (retire width 4)", cycles)
+	}
+	ipc := IPC(c.Stats().Instructions, cycles)
+	if ipc > 4.01 {
+		t.Errorf("IPC = %f exceeds retire width", ipc)
+	}
+	if ipc < 3.0 {
+		t.Errorf("IPC = %f suspiciously low for ideal stream", ipc)
+	}
+}
+
+func TestROBCapacityCouplesDispatchToRetire(t *testing.T) {
+	c := MustNew(Config{ROBSize: 8, DispatchWidth: 8, RetireWidth: 8})
+	// A head load completing at cycle 1000 blocks retirement. After the ROB
+	// fills (8 entries), dispatch must wait for the head to retire.
+	d0 := c.NextDispatch()
+	c.Dispatch(Entry{Complete: 1000, IsLoad: true})
+	for i := 0; i < 7; i++ {
+		c.Dispatch(Entry{Complete: c.NextDispatch() + 1})
+	}
+	d := c.NextDispatch()
+	if d < 1000 {
+		t.Errorf("dispatch after full ROB = %d, want >= 1000", d)
+	}
+	if d0 != 0 {
+		t.Errorf("first dispatch = %d", d0)
+	}
+}
+
+func TestStallAttributionNonReplay(t *testing.T) {
+	c := MustNew(Config{})
+	d := c.NextDispatch()
+	c.Dispatch(Entry{Complete: d + 200, IsLoad: true})
+	c.Drain()
+	st := c.Stats()
+	if st.StallCycles[StallNonReplay] == 0 {
+		t.Fatal("no non-replay stall recorded")
+	}
+	if st.StallCycles[StallTranslation] != 0 || st.StallCycles[StallReplay] != 0 {
+		t.Error("misattributed stall classes")
+	}
+	if st.NonReplayStall.Total() != 1 {
+		t.Errorf("per-event samples = %d", st.NonReplayStall.Total())
+	}
+	// The stall is the completion minus the head-ready cycle (0).
+	if got := st.NonReplayStall.Max(); got != 200 {
+		t.Errorf("event stall = %d, want 200", got)
+	}
+}
+
+func TestStallSplitTranslationReplay(t *testing.T) {
+	c := MustNew(Config{})
+	d := c.NextDispatch()
+	// Translation finishes at d+50, data at d+250: 50 translation cycles
+	// then 200 replay cycles at the ROB head.
+	c.Dispatch(Entry{Complete: d + 250, IsLoad: true, STLBMiss: true, TransDone: d + 50})
+	c.Drain()
+	st := c.Stats()
+	if st.StallCycles[StallTranslation] != 50 {
+		t.Errorf("translation stall = %d, want 50", st.StallCycles[StallTranslation])
+	}
+	if st.StallCycles[StallReplay] != 200 {
+		t.Errorf("replay stall = %d, want 200", st.StallCycles[StallReplay])
+	}
+	if st.TransStall.Max() != 50 || st.ReplayStall.Max() != 200 {
+		t.Errorf("event histograms: trans=%d replay=%d", st.TransStall.Max(), st.ReplayStall.Max())
+	}
+}
+
+func TestStallSplitWhenHeadArrivesAfterTranslation(t *testing.T) {
+	c := MustNew(Config{ROBSize: 4, DispatchWidth: 4, RetireWidth: 4})
+	// Fill with slow instructions so the STLB-missing load reaches the head
+	// only after its translation already finished: all the observed stall
+	// is replay.
+	d := c.NextDispatch()
+	c.Dispatch(Entry{Complete: d + 100})
+	c.Dispatch(Entry{Complete: d + 100})
+	c.Dispatch(Entry{Complete: d + 100})
+	c.Dispatch(Entry{Complete: d + 300, IsLoad: true, STLBMiss: true, TransDone: d + 20})
+	c.Drain()
+	st := c.Stats()
+	if st.StallCycles[StallTranslation] != 0 {
+		t.Errorf("translation stall = %d, want 0 (hidden by OoO)", st.StallCycles[StallTranslation])
+	}
+	if st.StallCycles[StallReplay] == 0 {
+		t.Error("replay stall missing")
+	}
+}
+
+func TestMispredictDelaysDispatch(t *testing.T) {
+	c := MustNew(Config{})
+	d := c.NextDispatch()
+	c.Dispatch(Entry{Complete: d + 1})
+	c.CountBranch()
+	c.Mispredict(d + 1)
+	if got := c.NextDispatch(); got != d+1+15 {
+		t.Errorf("post-mispredict dispatch = %d, want %d", got, d+16)
+	}
+	st := c.Stats()
+	if st.Branches != 1 || st.Mispredicts != 1 {
+		t.Errorf("branch stats = %+v", st)
+	}
+}
+
+func TestDrainEmpty(t *testing.T) {
+	c := MustNew(Config{})
+	if c.Drain() != 0 {
+		t.Error("empty drain nonzero")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(Config{})
+	c.Dispatch(Entry{Complete: 100, IsLoad: true})
+	c.Drain()
+	c.ResetStats()
+	st := c.Stats()
+	if st.Instructions != 0 || st.TotalStalls() != 0 || st.NonReplayStall.Total() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	f := func(lat []uint8) bool {
+		c := MustNew(Config{ROBSize: 16})
+		prev := int64(0)
+		for _, l := range lat {
+			d := c.NextDispatch()
+			if d < prev {
+				return false
+			}
+			c.Dispatch(Entry{Complete: d + int64(l%50) + 1, IsLoad: l%3 == 0})
+			prev = d
+		}
+		return c.Drain() >= prev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerceptronLearnsLoopBranch(t *testing.T) {
+	p := NewPerceptron()
+	// 9-taken-1-not pattern: a perceptron with history should do well.
+	correct, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		taken := i%10 != 9
+		if p.Predict(0x400100) == taken {
+			correct++
+		}
+		p.Update(0x400100, taken)
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("loop-branch accuracy = %.3f, want > 0.9", acc)
+	}
+}
+
+func TestPerceptronBiasedBranch(t *testing.T) {
+	p := NewPerceptron()
+	for i := 0; i < 200; i++ {
+		p.Update(0x400200, true)
+	}
+	if !p.Predict(0x400200) {
+		t.Error("always-taken branch predicted not-taken")
+	}
+}
+
+func TestPerceptronUpdateReportsCorrectness(t *testing.T) {
+	p := NewPerceptron()
+	// Train heavily taken, then check Update's return on a taken outcome.
+	for i := 0; i < 100; i++ {
+		p.Update(0x400300, true)
+	}
+	if !p.Update(0x400300, true) {
+		t.Error("Update reported mispredict on a learned branch")
+	}
+}
+
+func TestFrontendStall(t *testing.T) {
+	c := MustNew(Config{})
+	d := c.NextDispatch()
+	c.FrontendStall(d + 40)
+	if got := c.NextDispatch(); got != d+40 {
+		t.Errorf("dispatch after frontend stall = %d, want %d", got, d+40)
+	}
+	// A stall into the past is ignored.
+	c.FrontendStall(d)
+	if got := c.NextDispatch(); got != d+40 {
+		t.Errorf("stale frontend stall moved dispatch to %d", got)
+	}
+	// Unlike Mispredict, it does not count a misprediction.
+	if c.Stats().Mispredicts != 0 {
+		t.Error("frontend stall counted as mispredict")
+	}
+}
+
+func TestIPCEdgeCases(t *testing.T) {
+	if IPC(100, 0) != 0 || IPC(100, -5) != 0 {
+		t.Error("IPC with non-positive cycles should be 0")
+	}
+	if IPC(100, 50) != 2 {
+		t.Error("IPC arithmetic wrong")
+	}
+}

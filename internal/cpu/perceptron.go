@@ -1,0 +1,82 @@
+package cpu
+
+// Hashed perceptron branch predictor (Tarjan & Skadron, TACO'05 — the
+// paper's Table I predictor): several weight tables indexed by hashes of
+// the PC and disjoint global-history segments; the prediction is the sign
+// of the summed weights, trained on mispredictions or low-confidence
+// correct predictions.
+
+const (
+	percTables    = 4
+	percTableBits = 12
+	percWeightMax = 63 // 7-bit saturating weights
+	percHistBits  = 32
+	percTheta     = 18 // training threshold
+)
+
+// Perceptron is a hashed perceptron predictor for one hardware thread.
+type Perceptron struct {
+	weights [percTables][1 << percTableBits]int8
+	history uint64
+}
+
+// NewPerceptron returns an initialized predictor.
+func NewPerceptron() *Perceptron { return &Perceptron{} }
+
+func (p *Perceptron) indices(ip uint64) [percTables]uint32 {
+	var idx [percTables]uint32
+	segBits := percHistBits / percTables
+	for t := 0; t < percTables; t++ {
+		seg := (p.history >> (t * segBits)) & (1<<segBits - 1)
+		h := ip ^ seg<<1 ^ uint64(t)*0x9E3779B97F4A7C15
+		h *= 0xFF51AFD7ED558CCD
+		idx[t] = uint32(h>>(64-percTableBits)) & (1<<percTableBits - 1)
+	}
+	return idx
+}
+
+// Predict returns the predicted direction for the branch at ip.
+func (p *Perceptron) Predict(ip uint64) bool {
+	sum := 0
+	for t, i := range p.indices(ip) {
+		sum += int(p.weights[t][i])
+	}
+	return sum >= 0
+}
+
+// Update trains the predictor with the actual outcome and shifts the
+// global history. It returns whether the prediction was correct.
+func (p *Perceptron) Update(ip uint64, taken bool) bool {
+	idx := p.indices(ip)
+	sum := 0
+	for t, i := range idx {
+		sum += int(p.weights[t][i])
+	}
+	pred := sum >= 0
+	correct := pred == taken
+
+	if !correct || abs(sum) <= percTheta {
+		for t, i := range idx {
+			w := p.weights[t][i]
+			if taken && w < percWeightMax {
+				w++
+			} else if !taken && w > -percWeightMax {
+				w--
+			}
+			p.weights[t][i] = w
+		}
+	}
+
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+	return correct
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

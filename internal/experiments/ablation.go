@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+)
+
+// The ablations quantify the model/design choices DESIGN.md calls out and
+// the paper's implicit knobs: how much each enhancement contributes in
+// isolation, how the page-walker count and the replay re-issue window shape
+// the phenomenon, what the OS frame-scatter model is worth, what T-Hawkeye
+// buys over T-SHiP, and what happens to the whole problem under 2MB pages.
+
+// ablationWorkloads picks one benchmark per STLB category present at the
+// scale.
+func (r *Runner) ablationWorkloads() []string {
+	want := map[string]bool{"xalancbmk": true, "mcf": true, "pr": true}
+	var out []string
+	for _, w := range r.Scale().workloads() {
+		if want[w] {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		out = r.Scale().workloads()
+	}
+	return out
+}
+
+// AblationDecompose isolates each enhancement: T-policies without
+// prefetching, ATP without T-policies or TEMPO, TEMPO alone (the original
+// proposal it is borrowed from), and the full stack.
+//
+// Summary keys: tPolicies, atpOnly, tempoOnly, full (geomean speedups).
+func AblationDecompose(r *Runner) *Report {
+	type variant struct {
+		key string
+		mod func(*system.Config)
+	}
+	variants := []variant{
+		{"t-policies", func(c *system.Config) {
+			c.L2.Policy = "t-drrip"
+			c.LLC.Policy = "t-ship"
+		}},
+		{"atp-only", func(c *system.Config) {
+			c.L2.ATP = true
+			c.LLC.ATP = true
+		}},
+		{"tempo-only", func(c *system.Config) { c.TEMPO = true }},
+		{"full", func(c *system.Config) { c.Apply(system.TEMPO) }},
+	}
+	header := []string{"benchmark"}
+	for _, v := range variants {
+		header = append(header, v.key)
+	}
+	t := stats.NewTable(header...)
+	agg := map[string][]float64{}
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		row := []interface{}{w}
+		for _, v := range variants {
+			sp := r.Run("abl:"+v.key, w, v.mod).SpeedupOver(base)
+			row = append(row, sp)
+			agg[v.key] = append(agg[v.key], sp)
+		}
+		t.AddRowf(row...)
+	}
+	row := []interface{}{"geomean"}
+	sum := map[string]float64{}
+	for _, v := range variants {
+		g := stats.GeoMean(agg[v.key])
+		row = append(row, g)
+		sum[v.key] = g
+	}
+	t.AddRowf(row...)
+	return &Report{
+		ID:    "ablation-decompose",
+		Title: "Each enhancement in isolation vs the full stack",
+		Table: t,
+		Notes: []string{
+			"ATP needs the T-policies' translation hit rate to trigger; TEMPO needs translations to reach DRAM — the full stack composes them",
+		},
+		Summary: map[string]float64{
+			"tPolicies": sum["t-policies"],
+			"atpOnly":   sum["atp-only"],
+			"tempoOnly": sum["tempo-only"],
+			"full":      sum["full"],
+		},
+	}
+}
+
+// AblationWalkers sweeps the number of concurrent page walks: fewer walkers
+// serialize STLB misses and magnify the translation bottleneck the paper
+// attacks.
+//
+// Summary keys: base:<n>, gain:<n> for n in {1,2,4}.
+func AblationWalkers(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "IPC 1w", "IPC 2w", "IPC 4w", "gain 1w", "gain 2w", "gain 4w")
+	sum := map[string]float64{}
+	for _, w := range r.ablationWorkloads() {
+		row := []interface{}{w}
+		var ipcs, gains []interface{}
+		for _, n := range []int{1, 2, 4} {
+			n := n
+			base := r.Run(fmt.Sprintf("abl:w%d:base", n), w, func(c *system.Config) {
+				c.PageWalkers = n
+			})
+			enh := r.Run(fmt.Sprintf("abl:w%d:enh", n), w, func(c *system.Config) {
+				c.PageWalkers = n
+				c.Apply(system.TEMPO)
+			})
+			ipcs = append(ipcs, base.IPC())
+			gain := enh.SpeedupOver(base)
+			gains = append(gains, gain)
+			sum[fmt.Sprintf("base:%d", n)] += base.IPC()
+			sum[fmt.Sprintf("gain:%d", n)] += gain
+		}
+		row = append(row, ipcs...)
+		row = append(row, gains...)
+		t.AddRowf(row...)
+	}
+	for k := range sum {
+		sum[k] /= float64(len(r.ablationWorkloads()))
+	}
+	return &Report{
+		ID:    "ablation-walkers",
+		Title: "Page-walker concurrency: baseline IPC and enhancement gain at 1/2/4 walkers",
+		Table: t,
+		Notes: []string{
+			"fewer walkers serialize STLB misses: lower baseline IPC, larger absolute headroom for the enhancements",
+		},
+		Summary: sum,
+	}
+}
+
+// AblationReplayDelay sweeps the pipeline replay window — the latency ATP's
+// prefetch hides. At 0 the replay arrives with the walk and ATP has no
+// window; larger windows grow ATP's benefit.
+//
+// Summary keys: atpGain:<d> for d in {0,15,30,60}.
+func AblationReplayDelay(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "d=0", "d=15", "d=30", "d=60")
+	sum := map[string]float64{}
+	wls := r.ablationWorkloads()
+	for _, w := range wls {
+		row := []interface{}{w}
+		for _, d := range []int64{0, 15, 30, 60} {
+			d := d
+			base := r.Run(fmt.Sprintf("abl:rd%d:base", d), w, func(c *system.Config) {
+				c.ReplayIssueDelay = d
+			})
+			enh := r.Run(fmt.Sprintf("abl:rd%d:atp", d), w, func(c *system.Config) {
+				c.ReplayIssueDelay = d
+				c.Apply(system.ATP)
+			})
+			gain := enh.SpeedupOver(base)
+			row = append(row, gain)
+			sum[fmt.Sprintf("atpGain:%d", d)] += gain / float64(len(wls))
+		}
+		t.AddRowf(row...)
+	}
+	return &Report{
+		ID:    "ablation-replaydelay",
+		Title: "ATP gain vs the replay re-issue window (cycles)",
+		Table: t,
+		Notes: []string{
+			"ATP hides the walk-to-replay window; the gain should grow with the window",
+		},
+		Summary: sum,
+	}
+}
+
+// AblationScatter compares the scattered OS frame allocator against
+// artificially contiguous frames (perfect DRAM row locality).
+//
+// Summary keys: scatterIPC, contiguousIPC, rowHitScatter, rowHitContig.
+func AblationScatter(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "IPC scattered", "IPC contiguous", "row-hit scattered", "row-hit contiguous")
+	var sIPC, cIPC, sRH, cRH float64
+	wls := r.ablationWorkloads()
+	for _, w := range wls {
+		sc := r.Baseline(w)
+		co := r.Run("abl:contig", w, func(c *system.Config) { c.NoScatterFrames = true })
+		rh := func(res *system.Result) float64 {
+			tot := res.DRAM.RowHits + res.DRAM.RowClosed + res.DRAM.RowMisses
+			if tot == 0 {
+				return 0
+			}
+			return float64(res.DRAM.RowHits) / float64(tot)
+		}
+		t.AddRowf(w, sc.IPC(), co.IPC(), rh(sc), rh(co))
+		sIPC += sc.IPC() / float64(len(wls))
+		cIPC += co.IPC() / float64(len(wls))
+		sRH += rh(sc) / float64(len(wls))
+		cRH += rh(co) / float64(len(wls))
+	}
+	return &Report{
+		ID:    "ablation-scatter",
+		Title: "OS frame scatter vs contiguous frames (DRAM row locality)",
+		Table: t,
+		Notes: []string{
+			"contiguous frames are an unrealistically friendly OS; scatter is the model used everywhere else",
+		},
+		Summary: map[string]float64{
+			"scatterIPC": sIPC, "contiguousIPC": cIPC,
+			"rowHitScatter": sRH, "rowHitContig": cRH,
+		},
+	}
+}
+
+// AblationTHawkeye runs the T-policy ladder with Hawkeye as the LLC
+// baseline instead of SHiP — the paper's secondary configuration.
+//
+// Summary keys: hawkeye, tHawkeye (geomean speedups over the SHiP
+// baseline).
+func AblationTHawkeye(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "hawkeye", "t-hawkeye", "t-hawkeye+ATP+TEMPO")
+	agg := map[string][]float64{}
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		hk := r.Run("abl:hawkeye", w, func(c *system.Config) { c.LLC.Policy = "hawkeye" })
+		thk := r.Run("abl:t-hawkeye", w, func(c *system.Config) {
+			c.L2.Policy = "t-drrip"
+			c.LLC.Policy = "t-hawkeye"
+		})
+		full := r.Run("abl:t-hawkeye-full", w, func(c *system.Config) {
+			c.Apply(system.TEMPO)
+			c.LLC.Policy = "t-hawkeye"
+		})
+		a, b, c := hk.SpeedupOver(base), thk.SpeedupOver(base), full.SpeedupOver(base)
+		t.AddRowf(w, a, b, c)
+		agg["hawkeye"] = append(agg["hawkeye"], a)
+		agg["t-hawkeye"] = append(agg["t-hawkeye"], b)
+		agg["full"] = append(agg["full"], c)
+	}
+	t.AddRowf("geomean", stats.GeoMean(agg["hawkeye"]), stats.GeoMean(agg["t-hawkeye"]), stats.GeoMean(agg["full"]))
+	return &Report{
+		ID:    "ablation-t-hawkeye",
+		Title: "Hawkeye LLC: baseline vs T-Hawkeye vs T-Hawkeye with ATP+TEMPO (normalized to SHiP baseline)",
+		Table: t,
+		Notes: []string{
+			"the paper's signature fix applies to Hawkeye the same way it applies to SHiP",
+		},
+		Summary: map[string]float64{
+			"hawkeye":  stats.GeoMean(agg["hawkeye"]),
+			"tHawkeye": stats.GeoMean(agg["t-hawkeye"]),
+			"full":     stats.GeoMean(agg["full"]),
+		},
+	}
+}
+
+// AblationHugePages maps all data with 2MB pages: the STLB problem — and
+// with it the paper's headroom — largely disappears. This bounds the
+// technique's applicability (the future-work scenario).
+//
+// Summary keys: mpki4K, mpki2M, gain4K, gain2M.
+func AblationHugePages(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "STLB MPKI 4K", "STLB MPKI 2M", "gain 4K", "gain 2M")
+	var m4, m2, g4, g2 float64
+	wls := r.ablationWorkloads()
+	for _, w := range wls {
+		b4 := r.Baseline(w)
+		e4 := r.Enhanced(w, system.TEMPO)
+		b2 := r.Run("abl:huge:base", w, func(c *system.Config) { c.HugePages = true })
+		e2 := r.Run("abl:huge:enh", w, func(c *system.Config) {
+			c.HugePages = true
+			c.Apply(system.TEMPO)
+		})
+		t.AddRowf(w, b4.STLBMPKI(), b2.STLBMPKI(), e4.SpeedupOver(b4), e2.SpeedupOver(b2))
+		m4 += b4.STLBMPKI() / float64(len(wls))
+		m2 += b2.STLBMPKI() / float64(len(wls))
+		g4 += e4.SpeedupOver(b4) / float64(len(wls))
+		g2 += e2.SpeedupOver(b2) / float64(len(wls))
+	}
+	return &Report{
+		ID:    "ablation-hugepages",
+		Title: "Transparent huge pages: STLB pressure and enhancement gain under 4KB vs 2MB pages",
+		Table: t,
+		Notes: []string{
+			"with 2MB pages the STLB covers the footprint and the translation-conscious machinery has little left to win — the boundary of the paper's applicability",
+		},
+		Summary: map[string]float64{
+			"mpki4K": m4, "mpki2M": m2, "gain4K": g4, "gain2M": g2,
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+)
+
+// Comparison reproduces §V-B: the paper's enhancements against simplified
+// re-implementations of the prior proposals it is compared with — CbPred
+// (dead-block bypass at the LLC, Mazumdar et al. HPCA'21) and CSALT-D
+// (translation/data cache partitioning, Marathe et al. MICRO'17).
+//
+// Summary keys: cbpred, csalt, ours (geomean speedups over the baseline),
+// oursOverCbpred (the paper reports ≈ +3.1%).
+func Comparison(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "cbpred", "csalt", "ours (full)")
+	agg := map[string][]float64{}
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		cb := r.Run("cmp:cbpred", w, func(c *system.Config) { c.LLC.Policy = "cbpred" })
+		cs := r.Run("cmp:csalt", w, func(c *system.Config) { c.LLC.Policy = "csalt" })
+		ours := r.Enhanced(w, system.TEMPO)
+		a, b, o := cb.SpeedupOver(base), cs.SpeedupOver(base), ours.SpeedupOver(base)
+		t.AddRowf(w, a, b, o)
+		agg["cbpred"] = append(agg["cbpred"], a)
+		agg["csalt"] = append(agg["csalt"], b)
+		agg["ours"] = append(agg["ours"], o)
+	}
+	gc := stats.GeoMean(agg["cbpred"])
+	gs := stats.GeoMean(agg["csalt"])
+	go_ := stats.GeoMean(agg["ours"])
+	t.AddRowf("geomean", gc, gs, go_)
+	return &Report{
+		ID:    "comparison",
+		Title: "Prior works (§V-B): CbPred-style dead-block bypass and CSALT-style partitioning vs the paper's enhancements",
+		Table: t,
+		Notes: []string{
+			"paper: the enhancements beat CbPred by ~3.1% on average; CSALT partitioning adds ~1% over a weaker baseline",
+			"both prior techniques manage capacity; neither shortens the replay load's serial latency, which is where the headroom is",
+		},
+		Summary: map[string]float64{
+			"cbpred":         gc,
+			"csalt":          gs,
+			"ours":           go_,
+			"oursOverCbpred": go_ / gc,
+		},
+	}
+}

@@ -1,0 +1,269 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigN/TableN function runs the simulations it needs (with
+// memoization across experiments), and returns a Report containing the
+// rows/series the paper plots plus headline summary numbers.
+//
+// Figures 9, 11 and 13 are policy/state diagrams with no measured data;
+// their semantics are unit-tested in internal/repl and internal/cache.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+	"atcsim/internal/trace"
+	"atcsim/internal/workloads"
+)
+
+// Scale controls how much simulation each experiment performs. The paper
+// simulates 10B-instruction regions; this simulator reproduces shapes at
+// 10^5–10^6 instructions per run.
+type Scale struct {
+	// TraceLen is the synthesized trace length per benchmark.
+	TraceLen int
+	// Instructions and Warmup are per-core simulation lengths.
+	Instructions int
+	Warmup       int
+	// Workloads restricts the benchmark list (default: all nine).
+	Workloads []string
+	// Seed feeds workload synthesis. ExtraSeeds, when non-empty, makes
+	// SeededSpeedups average headline speedups over multiple trace seeds.
+	Seed       int64
+	ExtraSeeds []int64
+}
+
+// Full is the default experiment scale: every benchmark, 300K measured
+// instructions after 100K warmup.
+func Full() Scale {
+	return Scale{
+		TraceLen:     500_000,
+		Instructions: 300_000,
+		Warmup:       100_000,
+		Workloads:    workloads.Names(),
+		Seed:         1,
+	}
+}
+
+// Quick is a reduced scale for benchmarks and smoke tests: three
+// representative benchmarks (one per STLB-MPKI category), short runs.
+func Quick() Scale {
+	return Scale{
+		TraceLen:     150_000,
+		Instructions: 80_000,
+		Warmup:       30_000,
+		Workloads:    []string{"xalancbmk", "mcf", "pr"},
+		Seed:         1,
+	}
+}
+
+func (sc Scale) workloads() []string {
+	if len(sc.Workloads) == 0 {
+		return workloads.Names()
+	}
+	return sc.Workloads
+}
+
+// Report is one experiment's regenerated data.
+type Report struct {
+	ID    string
+	Title string
+	Table *stats.Table
+	Notes []string
+	// Summary holds headline aggregates (keys documented per experiment),
+	// used by tests and EXPERIMENTS.md.
+	Summary map[string]float64
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Summary) > 0 {
+		keys := make([]string, 0, len(r.Summary))
+		for k := range r.Summary {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "summary %s = %.4f\n", k, r.Summary[k])
+		}
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Runner caches traces and simulation results so that experiments sharing a
+// configuration (e.g. the baseline) pay for it once. It is not safe for
+// concurrent use.
+type Runner struct {
+	sc      Scale
+	traces  map[string]*trace.Trace
+	results map[string]*system.Result
+}
+
+// NewRunner creates a runner at the given scale.
+func NewRunner(sc Scale) *Runner {
+	return &Runner{
+		sc:      sc,
+		traces:  make(map[string]*trace.Trace),
+		results: make(map[string]*system.Result),
+	}
+}
+
+// Scale returns the runner's scale.
+func (r *Runner) Scale() Scale { return r.sc }
+
+// Trace returns the (cached) synthesized trace for a benchmark at the
+// scale's primary seed.
+func (r *Runner) Trace(name string) *trace.Trace {
+	return r.TraceSeeded(name, r.sc.Seed)
+}
+
+// TraceSeeded returns the (cached) trace for a benchmark and seed.
+func (r *Runner) TraceSeeded(name string, seed int64) *trace.Trace {
+	key := fmt.Sprintf("%s@%d", name, seed)
+	if t, ok := r.traces[key]; ok {
+		return t
+	}
+	s, err := workloads.ByName(name)
+	if err != nil {
+		panic(err) // experiment tables only reference registered names
+	}
+	t := s.Build(r.sc.TraceLen, seed)
+	r.traces[key] = t
+	return t
+}
+
+// SeededSpeedups measures the full-stack speedup of one benchmark across
+// the primary seed and every extra seed, returning the individual values.
+// It quantifies how sensitive the headline result is to the synthetic
+// trace instance.
+func (r *Runner) SeededSpeedups(name string) []float64 {
+	seeds := append([]int64{r.sc.Seed}, r.sc.ExtraSeeds...)
+	out := make([]float64, 0, len(seeds))
+	for _, seed := range seeds {
+		tr := r.TraceSeeded(name, seed)
+		run := func(key string, mod func(*system.Config)) *system.Result {
+			ck := fmt.Sprintf("%s@%d|%s", key, seed, name)
+			if res, ok := r.results[ck]; ok {
+				return res
+			}
+			cfg := r.baseConfig()
+			if mod != nil {
+				mod(&cfg)
+			}
+			res, err := system.Run(cfg, tr)
+			if err != nil {
+				panic(err)
+			}
+			r.results[ck] = res
+			return res
+		}
+		base := run("baseline", nil)
+		enh := run("tempo", func(c *system.Config) { c.Apply(system.TEMPO) })
+		out = append(out, enh.SpeedupOver(base))
+	}
+	return out
+}
+
+// baseConfig is the scale-adjusted Table I configuration.
+func (r *Runner) baseConfig() system.Config {
+	cfg := system.DefaultConfig()
+	cfg.Instructions = r.sc.Instructions
+	cfg.Warmup = r.sc.Warmup
+	return cfg
+}
+
+// Run simulates benchmark name under a modified configuration. key must
+// uniquely identify the modification; results are memoized on (key, name).
+func (r *Runner) Run(key, name string, mod func(*system.Config)) *system.Result {
+	ck := key + "|" + name
+	if res, ok := r.results[ck]; ok {
+		return res
+	}
+	cfg := r.baseConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	res, err := system.Run(cfg, r.Trace(name))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: run %s/%s: %v", key, name, err))
+	}
+	r.results[ck] = res
+	return res
+}
+
+// Baseline runs the paper's baseline (DRRIP + SHiP) for a benchmark.
+func (r *Runner) Baseline(name string) *system.Result {
+	return r.Run("baseline", name, nil)
+}
+
+// Enhanced runs the given cumulative enhancement level.
+func (r *Runner) Enhanced(name string, e system.Enhancement) *system.Result {
+	return r.Run("enh:"+e.String(), name, func(c *system.Config) { c.Apply(e) })
+}
+
+// All returns every experiment report at the given scale, in paper order.
+func All(sc Scale) []*Report {
+	r := NewRunner(sc)
+	return []*Report{
+		Fig1(r), Fig2(r), Fig3(r), Fig4(r), Fig5(r), Fig6(r), Fig7(r), Fig8(r),
+		Fig10(r), Fig12(r), Fig14(r), Fig15(r), Fig16(r), Fig17(r), Fig18(r),
+		Fig19(r), Fig20(r), Fig21(r), TableI(r), TableII(r), MultiCore(r),
+		AblationDecompose(r), AblationWalkers(r), AblationReplayDelay(r),
+		AblationScatter(r), AblationTHawkeye(r), AblationHugePages(r),
+		Comparison(r), Robustness(r),
+	}
+}
+
+// ByID returns a single experiment by its identifier ("fig1".."fig21",
+// "table1", "table2", "multicore").
+func ByID(sc Scale, id string) (*Report, error) {
+	r := NewRunner(sc)
+	f, ok := map[string]func(*Runner) *Report{
+		"fig1": Fig1, "fig2": Fig2, "fig3": Fig3, "fig4": Fig4, "fig5": Fig5,
+		"fig6": Fig6, "fig7": Fig7, "fig8": Fig8, "fig10": Fig10, "fig12": Fig12,
+		"fig14": Fig14, "fig15": Fig15, "fig16": Fig16, "fig17": Fig17,
+		"fig18": Fig18, "fig19": Fig19, "fig20": Fig20, "fig21": Fig21,
+		"table1": TableI, "table2": TableII, "multicore": MultiCore,
+		"ablation-decompose":   AblationDecompose,
+		"ablation-walkers":     AblationWalkers,
+		"ablation-replaydelay": AblationReplayDelay,
+		"ablation-scatter":     AblationScatter,
+		"ablation-t-hawkeye":   AblationTHawkeye,
+		"ablation-hugepages":   AblationHugePages,
+		"comparison":           Comparison,
+		"robustness":           Robustness,
+	}[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return f(r), nil
+}
+
+// IDs lists every experiment identifier in paper order.
+func IDs() []string {
+	return []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "table1", "table2", "multicore",
+		"ablation-decompose", "ablation-walkers", "ablation-replaydelay",
+		"ablation-scatter", "ablation-t-hawkeye", "ablation-hugepages",
+		"comparison", "robustness",
+	}
+}

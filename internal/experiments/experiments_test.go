@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testScale keeps experiment tests fast while exercising every code path:
+// one benchmark per STLB category.
+func testScale() Scale {
+	return Scale{
+		TraceLen:     120_000,
+		Instructions: 60_000,
+		Warmup:       20_000,
+		Workloads:    []string{"xalancbmk", "mcf", "pr"},
+		Seed:         1,
+	}
+}
+
+func TestIDsCoverEveryExperiment(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 29 {
+		t.Fatalf("IDs() = %d entries: %v", len(ids), ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID(testScale(), "fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(testScale())
+	a := r.Baseline("mcf")
+	b := r.Baseline("mcf")
+	if a != b {
+		t.Error("baseline result not memoized")
+	}
+	if r.Trace("mcf") != r.Trace("mcf") {
+		t.Error("trace not memoized")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep := Fig1(NewRunner(testScale()))
+	if rep.Summary["avgReplay"] <= 0 {
+		t.Fatal("no replay stalls measured")
+	}
+	// Paper shape: replay loads dominate the ROB-head stall budget.
+	if rep.Summary["totalReplay"] <= rep.Summary["totalTrans"] {
+		t.Errorf("total replay stalls %.0f not > translation stalls %.0f",
+			rep.Summary["totalReplay"], rep.Summary["totalTrans"])
+	}
+	if !strings.Contains(rep.String(), "fig1") {
+		t.Error("report text missing id")
+	}
+}
+
+func TestFig2IdealOrdering(t *testing.T) {
+	rep := Fig2(NewRunner(testScale()))
+	// Scale-robust shape checks: both idealizations help, the combined
+	// idealization beats either alone (within noise), and there is real
+	// headroom. (The full-scale run additionally shows LLC(R) ≫ LLC(T)
+	// on the complete suite, as the paper reports; at this reduced scale
+	// mcf's serial walk chain inflates the T mode.)
+	if rep.Summary["llcR"] < 1.02 {
+		t.Errorf("LLC(R) %.3f shows no replay headroom", rep.Summary["llcR"])
+	}
+	if rep.Summary["bothTR"] < rep.Summary["llcR"]*0.98 ||
+		rep.Summary["bothTR"] < rep.Summary["llcT"]*0.98 {
+		t.Errorf("both(TR) %.3f below single modes (R %.3f, T %.3f)",
+			rep.Summary["bothTR"], rep.Summary["llcR"], rep.Summary["llcT"])
+	}
+	if rep.Summary["bothTR"] <= 1.0 {
+		t.Errorf("ideal hierarchy speedup %.3f not > 1", rep.Summary["bothTR"])
+	}
+}
+
+func TestFig3Fractions(t *testing.T) {
+	rep := Fig3(NewRunner(testScale()))
+	total := rep.Summary["transL1D"] + rep.Summary["transL2"] +
+		rep.Summary["transLLC"] + rep.Summary["transDRAM"]
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("translation service fractions sum to %.3f", total)
+	}
+	// Paper: most replays miss the LLC; most translations are on-chip.
+	if rep.Summary["replayDRAM"] < 0.4 {
+		t.Errorf("replay DRAM fraction %.2f, want majority", rep.Summary["replayDRAM"])
+	}
+	if rep.Summary["transDRAM"] > 0.5 {
+		t.Errorf("translation DRAM fraction %.2f too high", rep.Summary["transDRAM"])
+	}
+}
+
+func TestFig4PoliciesProduceData(t *testing.T) {
+	rep := Fig4(NewRunner(testScale()))
+	for _, p := range baselinePolicies {
+		if _, ok := rep.Summary[p]; !ok {
+			t.Errorf("missing policy %q", p)
+		}
+	}
+	// pr at this scale must show translation pressure under every policy.
+	if rep.Summary["lru"] <= 0 {
+		t.Error("no translation misses at LLC under LRU")
+	}
+}
+
+func TestFig6ReplacementDoesNotFixReplays(t *testing.T) {
+	rep := Fig6(NewRunner(testScale()))
+	// Shape: replay MPKI roughly equal across policies (within 25%).
+	lru := rep.Summary["lru"]
+	for _, p := range baselinePolicies {
+		if v := rep.Summary[p]; v < lru*0.75 || v > lru*1.25 {
+			t.Errorf("replay MPKI with %s = %.2f deviates from LRU %.2f", p, v, lru)
+		}
+	}
+}
+
+func TestFig5And7RecallShapes(t *testing.T) {
+	r := NewRunner(testScale())
+	f5 := Fig5(r)
+	f7 := Fig7(r)
+	// Translations show near-horizon recalls; replays mostly do not.
+	if f5.Summary["llcWithin50"] <= 0 && f5.Summary["l2Within50"] <= 0 {
+		t.Error("no translation recall mass measured")
+	}
+	if f7.Summary["llcBeyond50"] < 0.3 {
+		t.Errorf("replay recall beyond-50 fraction %.2f, want large", f7.Summary["llcBeyond50"])
+	}
+}
+
+func TestFig8PrefetchersDoNotFixReplays(t *testing.T) {
+	rep := Fig8(NewRunner(testScale()))
+	none := rep.Summary["none"]
+	if none <= 0 {
+		t.Fatal("no replay misses at LLC")
+	}
+	for _, pf := range []string{"ipcp", "spp", "bingo"} {
+		if v := rep.Summary[pf]; v < none*0.7 {
+			t.Errorf("spatial prefetcher %s cut replay MPKI to %.2f of %.2f — too effective", pf, v, none)
+		}
+	}
+}
+
+func TestFig10Degradation(t *testing.T) {
+	rep := Fig10(NewRunner(testScale()))
+	if rep.Summary["degradation"] >= 1.005 {
+		t.Errorf("replay@RRPV0 unexpectedly outperformed proper T-policies: %.3f",
+			rep.Summary["degradation"])
+	}
+}
+
+func TestFig12SignatureLadder(t *testing.T) {
+	rep := Fig12(NewRunner(testScale()))
+	// T-SHiP must not be worse than baseline SHiP at keeping translations.
+	if rep.Summary["tShip"] > rep.Summary["ship"]*1.05 {
+		t.Errorf("T-SHiP MPKI %.2f worse than SHiP %.2f", rep.Summary["tShip"], rep.Summary["ship"])
+	}
+	if rep.Summary["tHawkeye"] > rep.Summary["hawkeye"]*1.05 {
+		t.Errorf("T-Hawkeye MPKI %.2f worse than Hawkeye %.2f", rep.Summary["tHawkeye"], rep.Summary["hawkeye"])
+	}
+}
+
+func TestFig14HeadlineSpeedup(t *testing.T) {
+	rep := Fig14(NewRunner(testScale()))
+	if rep.Summary["tempo"] <= 1.0 {
+		t.Errorf("full enhancements geomean %.4f not > 1", rep.Summary["tempo"])
+	}
+	if rep.Summary["max"] < rep.Summary["tempo"] {
+		t.Error("max < geomean")
+	}
+}
+
+func TestFig16StallReduction(t *testing.T) {
+	rep := Fig16(NewRunner(testScale()))
+	if rep.Summary["replayReduction"] <= 0 {
+		t.Errorf("replay stall reduction %.3f not positive", rep.Summary["replayReduction"])
+	}
+}
+
+func TestFig17SMT(t *testing.T) {
+	sc := testScale()
+	sc.Workloads = []string{"pr", "xalancbmk"}
+	rep := Fig17(NewRunner(sc))
+	if rep.Summary["mean"] <= 0 {
+		t.Fatal("no SMT speedup measured")
+	}
+}
+
+func TestFig18STLBRecall(t *testing.T) {
+	rep := Fig18(NewRunner(testScale()))
+	if rep.Summary["beyond50"] <= 0 {
+		t.Error("no dead-STLB-entry mass measured")
+	}
+}
+
+func TestSensitivitySweeps(t *testing.T) {
+	sc := testScale()
+	sc.Workloads = []string{"pr"}
+	r := NewRunner(sc)
+	for _, rep := range []*Report{Fig19(r), Fig20(r), Fig21(r)} {
+		if len(rep.Summary) == 0 {
+			t.Errorf("%s: empty summary", rep.ID)
+		}
+		for k, v := range rep.Summary {
+			if v <= 0 {
+				t.Errorf("%s: %s speedup %.3f", rep.ID, k, v)
+			}
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	r := NewRunner(testScale())
+	t1 := TableI(r)
+	if !strings.Contains(t1.Table.String(), "352-entry ROB") {
+		t.Error("Table I missing ROB size")
+	}
+	t2 := TableII(r)
+	if t2.Summary["stlb:pr"] <= t2.Summary["stlb:xalancbmk"] {
+		t.Errorf("Table II: pr STLB MPKI %.1f not above xalancbmk %.1f",
+			t2.Summary["stlb:pr"], t2.Summary["stlb:xalancbmk"])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc := testScale()
+	sc.Workloads = []string{"pr"}
+	r := NewRunner(sc)
+
+	dec := AblationDecompose(r)
+	if dec.Summary["full"] <= 0 {
+		t.Error("decomposition missing full-stack result")
+	}
+
+	wk := AblationWalkers(r)
+	// Fewer walkers → lower baseline IPC on a TLB-stressing workload.
+	if wk.Summary["base:1"] > wk.Summary["base:4"] {
+		t.Errorf("1-walker IPC %.4f > 4-walker IPC %.4f", wk.Summary["base:1"], wk.Summary["base:4"])
+	}
+
+	rd := AblationReplayDelay(r)
+	// A wider replay window gives ATP at least as much to hide.
+	if rd.Summary["atpGain:60"] < rd.Summary["atpGain:0"]-0.02 {
+		t.Errorf("ATP gain at d=60 (%.3f) below d=0 (%.3f)",
+			rd.Summary["atpGain:60"], rd.Summary["atpGain:0"])
+	}
+
+	scb := AblationScatter(r)
+	// Contiguous frames enjoy better DRAM row locality.
+	if scb.Summary["rowHitContig"] < scb.Summary["rowHitScatter"] {
+		t.Errorf("contiguous row-hit rate %.3f < scattered %.3f",
+			scb.Summary["rowHitContig"], scb.Summary["rowHitScatter"])
+	}
+
+	hp := AblationHugePages(r)
+	if hp.Summary["mpki2M"] > hp.Summary["mpki4K"]/10 {
+		t.Errorf("huge-page STLB MPKI %.2f not ≪ 4K %.2f", hp.Summary["mpki2M"], hp.Summary["mpki4K"])
+	}
+
+	th := AblationTHawkeye(r)
+	if th.Summary["full"] <= 0 {
+		t.Error("t-hawkeye ablation empty")
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	sc := testScale()
+	sc.Workloads = []string{"pr", "xalancbmk"}
+	sc.ExtraSeeds = []int64{5}
+	rep := Robustness(NewRunner(sc))
+	if rep.Summary["mean"] <= 0 || rep.Summary["worstMin"] <= 0 {
+		t.Fatalf("summary = %v", rep.Summary)
+	}
+	// The enhancements must not flip to a large loss on any seed.
+	if rep.Summary["worstMin"] < 0.97 {
+		t.Errorf("worst per-seed speedup %.3f — result is seed noise", rep.Summary["worstMin"])
+	}
+}
+
+func TestComparison(t *testing.T) {
+	rep := Comparison(NewRunner(testScale()))
+	if rep.Summary["ours"] <= 1.0 {
+		t.Errorf("our enhancements geomean %.4f not > 1", rep.Summary["ours"])
+	}
+	// The paper's central comparison claim: the enhancements outperform the
+	// capacity-management prior works.
+	if rep.Summary["oursOverCbpred"] <= 1.0 {
+		t.Errorf("ours/cbpred = %.4f, want > 1", rep.Summary["oursOverCbpred"])
+	}
+	if rep.Summary["ours"] <= rep.Summary["csalt"] {
+		t.Errorf("ours %.4f not above csalt %.4f", rep.Summary["ours"], rep.Summary["csalt"])
+	}
+}
+
+func TestMultiCoreQuick(t *testing.T) {
+	sc := testScale()
+	sc.Instructions = 30_000
+	sc.Warmup = 10_000
+	rep := MultiCore(NewRunner(sc))
+	if rep.Summary["mean"] <= 0 {
+		t.Error("multicore speedup missing")
+	}
+}
+
+func TestSeededSpeedups(t *testing.T) {
+	sc := testScale()
+	sc.Workloads = []string{"pr"}
+	sc.ExtraSeeds = []int64{2, 3}
+	r := NewRunner(sc)
+	sp := r.SeededSpeedups("pr")
+	if len(sp) != 3 {
+		t.Fatalf("speedups = %v", sp)
+	}
+	for i, s := range sp {
+		if s <= 0.9 {
+			t.Errorf("seed %d speedup %.3f implausible", i, s)
+		}
+	}
+	// Distinct seeds produce distinct traces (and almost surely distinct
+	// speedups).
+	if sp[0] == sp[1] && sp[1] == sp[2] {
+		t.Error("all seeds produced identical speedups — seeding inert?")
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"atcsim/internal/mem"
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+)
+
+// Fig10 demonstrates the misconfiguration the paper warns about: inserting
+// replay loads at RRPV=0 together with the pinned translations degrades
+// performance relative to the proper T-policies.
+//
+// Summary keys: degradation (geomean speedup of the misconfiguration over
+// the proper T-policies; < 1 means degraded, as the paper reports).
+func Fig10(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "proper T-policies", "replay@RRPV0", "ratio")
+	var ratios []float64
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		proper := r.Run("fig10:proper", w, func(c *system.Config) {
+			c.L2.Policy = "t-drrip"
+			c.LLC.Policy = "t-ship"
+		})
+		wrong := r.Run("fig10:replay0", w, func(c *system.Config) {
+			c.L2.Policy = "drrip-replay0"
+			c.LLC.Policy = "ship-replay0"
+		})
+		ps := proper.SpeedupOver(base)
+		ws := wrong.SpeedupOver(base)
+		ratio := ws / ps
+		t.AddRowf(w, ps, ws, ratio)
+		ratios = append(ratios, ratio)
+	}
+	g := stats.GeoMean(ratios)
+	t.AddRowf("geomean", "", "", g)
+	return &Report{
+		ID:    "fig10",
+		Title: "Degradation when replay loads are inserted at RRPV=0 (DRRIP at L2C, SHiP at LLC)",
+		Table: t,
+		Notes: []string{
+			"paper: replay blocks at RRPV=0 pressure the pinned translations and hurt performance",
+		},
+		Summary: map[string]float64{"degradation": g},
+	}
+}
+
+// Fig12 isolates the signature enhancement: leaf-translation MPKI at the
+// LLC for baseline SHiP, SHiP with the new translation/replay-aware
+// signatures only (NewSign), full T-SHiP, and the Hawkeye variants.
+//
+// Summary keys: ship, shipNewsig, tShip, hawkeye, tHawkeye (mean MPKI).
+func Fig12(r *Runner) *Report {
+	policies := []string{"ship", "ship-newsig", "t-ship", "hawkeye", "t-hawkeye"}
+	t, sum := r.policySweep(mem.ClassTransLeaf, policies)
+	return &Report{
+		ID:    "fig12",
+		Title: "Leaf-translation MPKI at the LLC: SHiP vs NewSign vs T-SHiP (and Hawkeye variants)",
+		Table: t,
+		Notes: []string{
+			"paper: the new signatures alone reduce translation MPKI; pinning leaf translations (T-SHiP) reduces it further",
+		},
+		Summary: map[string]float64{
+			"ship":       sum["ship"],
+			"shipNewsig": sum["ship-newsig"],
+			"tShip":      sum["t-ship"],
+			"hawkeye":    sum["hawkeye"],
+			"tHawkeye":   sum["t-hawkeye"],
+		},
+	}
+}
+
+// Fig14 is the headline result: normalized performance of the cumulative
+// enhancements T-DRRIP → +T-SHiP → +ATP → +TEMPO over the baseline.
+//
+// Summary keys: tdrrip, tship, atp, tempo (geomean speedups), max (largest
+// per-benchmark speedup of the full configuration).
+func Fig14(r *Runner) *Report {
+	levels := []system.Enhancement{system.TDRRIP, system.TSHiP, system.ATP, system.TEMPO}
+	header := []string{"benchmark"}
+	for _, e := range levels {
+		header = append(header, "+"+e.String())
+	}
+	t := stats.NewTable(header...)
+	agg := map[system.Enhancement][]float64{}
+	maxFull := 0.0
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		row := []interface{}{w}
+		for _, e := range levels {
+			sp := r.Enhanced(w, e).SpeedupOver(base)
+			row = append(row, sp)
+			agg[e] = append(agg[e], sp)
+			if e == system.TEMPO && sp > maxFull {
+				maxFull = sp
+			}
+		}
+		t.AddRowf(row...)
+	}
+	row := []interface{}{"geomean"}
+	sum := map[string]float64{"max": maxFull}
+	for _, e := range levels {
+		g := stats.GeoMean(agg[e])
+		row = append(row, g)
+		sum[e.String()] = g
+	}
+	t.AddRowf(row...)
+	return &Report{
+		ID:    "fig14",
+		Title: "Normalized performance of the cumulative enhancements",
+		Table: t,
+		Notes: []string{
+			"paper: T-DRRIP +0.5%, +T-SHiP +2.9%, +ATP +4.8%, +TEMPO +5.1% on average; up to +10.6%",
+		},
+		Summary: sum,
+	}
+}
+
+// Fig15 evaluates the full enhancement stack on top of baselines that
+// already include a data prefetcher.
+//
+// Summary keys: one per prefetcher (geomean speedup of full enhancements
+// over the prefetching baseline).
+func Fig15(r *Runner) *Report {
+	type setup struct{ name, l1d, l2 string }
+	setups := []setup{
+		{"ipcp", "ipcp", "none"},
+		{"spp", "none", "spp"},
+		{"bingo", "none", "bingo"},
+		{"isb", "none", "isb"},
+	}
+	header := []string{"benchmark"}
+	for _, s := range setups {
+		header = append(header, s.name)
+	}
+	t := stats.NewTable(header...)
+	agg := map[string][]float64{}
+	for _, w := range r.Scale().workloads() {
+		row := []interface{}{w}
+		for _, s := range setups {
+			s := s
+			base := r.Run("pf:"+s.name, w, func(c *system.Config) {
+				c.L1DPrefetcher = s.l1d
+				c.L2Prefetcher = s.l2
+			})
+			enh := r.Run("pf+enh:"+s.name, w, func(c *system.Config) {
+				c.L1DPrefetcher = s.l1d
+				c.L2Prefetcher = s.l2
+				c.Apply(system.TEMPO)
+			})
+			sp := enh.SpeedupOver(base)
+			row = append(row, sp)
+			agg[s.name] = append(agg[s.name], sp)
+		}
+		t.AddRowf(row...)
+	}
+	row := []interface{}{"geomean"}
+	sum := map[string]float64{}
+	for _, s := range setups {
+		g := stats.GeoMean(agg[s.name])
+		row = append(row, g)
+		sum[s.name] = g
+	}
+	t.AddRowf(row...)
+	return &Report{
+		ID:    "fig15",
+		Title: "Normalized performance of the enhancements in the presence of data prefetchers",
+		Table: t,
+		Notes: []string{
+			"paper: +11.2% over IPCP, +7.5% over Bingo, +6.4% over SPP, +7.2% over ISB",
+		},
+		Summary: sum,
+	}
+}
+
+// Fig16 quantifies the ROB stall-cycle reduction of the full enhancement
+// stack, split into the STLB-miss (translation) part and the replay part.
+//
+// Summary keys: transReduction, replayReduction, totalReduction (fractions).
+func Fig16(r *Runner) *Report {
+	t := stats.NewTable("benchmark", "T stall reduction", "R stall reduction", "total reduction")
+	var rt, rr, tot []float64
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		// The paper attributes the STLB-miss stall reduction to the
+		// improved caching (T-DRRIP + T-SHiP) and the replay stall
+		// reduction to ATP + TEMPO on top of it.
+		pol := r.Enhanced(w, system.TSHiP)
+		enh := r.Enhanced(w, system.TEMPO)
+		bt, br := stallTotals(base)
+		pt, _ := stallTotals(pol)
+		et, er := stallTotals(enh)
+		redT := reduction(bt, pt)
+		redR := reduction(br, er)
+		redTot := reduction(bt+br, et+er)
+		t.AddRowf(w, redT, redR, redTot)
+		if bt > 0 {
+			rt = append(rt, redT)
+		}
+		if br > 0 {
+			rr = append(rr, redR)
+		}
+		if bt+br > 0 {
+			tot = append(tot, redTot)
+		}
+	}
+	t.AddRowf("mean", mean(rt), mean(rr), mean(tot))
+	return &Report{
+		ID:    "fig16",
+		Title: "Reduction in ROB stall cycles due to STLB misses (T) and replay loads (R)",
+		Table: t,
+		Notes: []string{
+			"paper: STLB-miss stalls −28.76%, replay stalls −18.5%, combined −46.7% of translation-related stalls",
+		},
+		Summary: map[string]float64{
+			"transReduction":  mean(rt),
+			"replayReduction": mean(rr),
+			"totalReduction":  mean(tot),
+		},
+	}
+}
+
+func reduction(base, enh uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(enh)/float64(base)
+}

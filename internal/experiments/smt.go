@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+	"atcsim/internal/trace"
+)
+
+// smtMixes are the 2-thread combinations the paper highlights, covering all
+// STLB-MPKI category pairs.
+var smtMixes = [][2]string{
+	{"xalancbmk", "xalancbmk"}, // Low-Low
+	{"canneal", "xalancbmk"},   // Medium-Low
+	{"mcf", "mis"},             // Medium-Medium
+	{"radii", "bf"},            // High-High
+	{"pr", "cc"},               // High-High
+	{"tc", "pr"},               // Medium-High
+}
+
+// availableMixes filters the mixes to benchmarks present at this scale.
+func (r *Runner) availableMixes(mixes [][2]string) [][2]string {
+	have := map[string]bool{}
+	for _, w := range r.Scale().workloads() {
+		have[w] = true
+	}
+	var out [][2]string
+	for _, m := range mixes {
+		if have[m[0]] && have[m[1]] {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		// Quick scales may not contain any canonical pair; fall back to
+		// self-mixes of whatever is available.
+		for _, w := range r.Scale().workloads() {
+			out = append(out, [2]string{w, w})
+		}
+	}
+	return out
+}
+
+// runSMT simulates a 2-thread mix under the given enhancement level.
+func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
+	cfg := r.baseConfig()
+	cfg.Apply(e)
+	res, err := system.RunSMT(cfg, r.Trace(mix[0]), r.Trace(mix[1]))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: smt %v: %v", mix, err))
+	}
+	return res
+}
+
+// Fig17 evaluates the full enhancement stack on a 2-way SMT core using the
+// paper's harmonic-speedup metric.
+//
+// Summary keys: mean (average harmonic speedup), max.
+func Fig17(r *Runner) *Report {
+	t := stats.NewTable("mix (T0-T1)", "harmonic speedup")
+	var sp []float64
+	maxSp := 0.0
+	for _, mix := range r.availableMixes(smtMixes) {
+		base := r.runSMT(mix, system.Baseline)
+		enh := r.runSMT(mix, system.TEMPO)
+		hs := enh.HarmonicSpeedupOver(base)
+		t.AddRowf(mix[0]+"-"+mix[1], hs)
+		sp = append(sp, hs)
+		if hs > maxSp {
+			maxSp = hs
+		}
+	}
+	t.AddRowf("mean", mean(sp))
+	return &Report{
+		ID:    "fig17",
+		Title: "2-way SMT harmonic speedup of the full enhancements",
+		Table: t,
+		Notes: []string{
+			"paper: +6.3% average, up to +12.6% (pr-cc); Low/Medium-containing mixes gain less",
+		},
+		Summary: map[string]float64{"mean": mean(sp), "max": maxSp},
+	}
+}
+
+// multiMixes are the multi-programmed mixes (one benchmark name per core).
+// The last one is the paper's 8-core configuration (two DRAM channels).
+var multiMixes = [][]string{
+	{"pr", "cc", "radii", "bf"},                                // homogeneous High
+	{"tc", "canneal", "mis", "mcf"},                            // homogeneous Medium
+	{"pr", "mcf", "xalancbmk", "tc"},                           // heterogeneous
+	{"cc", "canneal", "xalancbmk", "bf"},                       // heterogeneous
+	{"pr", "cc", "radii", "bf", "tc", "canneal", "mis", "mcf"}, // 8-core
+}
+
+// MultiCore evaluates the enhancements on multi-programmed mixes sharing an
+// LLC (2MB/core) and one DRAM channel.
+//
+// Summary keys: mean (average harmonic speedup over mixes).
+func MultiCore(r *Runner) *Report {
+	have := map[string]bool{}
+	for _, w := range r.Scale().workloads() {
+		have[w] = true
+	}
+	t := stats.NewTable("mix", "harmonic speedup")
+	var sp []float64
+	for _, mix := range multiMixes {
+		ok := true
+		for _, w := range mix {
+			if !have[w] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		traces := make([]*trace.Trace, len(mix))
+		for i, w := range mix {
+			traces[i] = r.Trace(w)
+		}
+		run := func(e system.Enhancement) *system.Result {
+			cfg := r.baseConfig()
+			// Multi-core runs are len(mix)× the work; keep wall time in check.
+			cfg.Instructions /= 2
+			cfg.Warmup /= 2
+			cfg.Apply(e)
+			res, err := system.RunMulti(cfg, traces)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		hs := run(system.TEMPO).HarmonicSpeedupOver(run(system.Baseline))
+		t.AddRowf(strings.Join(mix, "-"), hs)
+		sp = append(sp, hs)
+	}
+	if len(sp) == 0 {
+		// Quick scale: one mix over whatever benchmarks exist.
+		names := r.Scale().workloads()
+		traces := make([]*trace.Trace, 0, len(names))
+		for _, w := range names {
+			traces = append(traces, r.Trace(w))
+		}
+		run := func(e system.Enhancement) *system.Result {
+			cfg := r.baseConfig()
+			cfg.Instructions /= 2
+			cfg.Warmup /= 2
+			cfg.Apply(e)
+			res, err := system.RunMulti(cfg, traces)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		hs := run(system.TEMPO).HarmonicSpeedupOver(run(system.Baseline))
+		t.AddRowf(strings.Join(names, "-"), hs)
+		sp = append(sp, hs)
+	}
+	t.AddRowf("mean", mean(sp))
+	return &Report{
+		ID:    "multicore",
+		Title: "Multi-programmed mixes: harmonic speedup of the full enhancements",
+		Table: t,
+		Notes: []string{
+			"paper (8-core, 25 mixes): >4% average improvement",
+		},
+		Summary: map[string]float64{"mean": mean(sp)},
+	}
+}

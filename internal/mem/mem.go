@@ -1,0 +1,249 @@
+// Package mem defines the fundamental address arithmetic, request types and
+// access-class taxonomy shared by every component of the simulator.
+//
+// The simulator models a 57-bit virtual address space translated through a
+// five-level radix page table (Intel Sunny Cove style), 4KB pages and 64-byte
+// cache lines. Eight 8-byte page-table entries share one cache line, which is
+// what makes page-table entries competitive cache citizens and is the root of
+// the phenomena the reproduced paper studies.
+package mem
+
+// Addr is a byte address, physical or virtual depending on context.
+type Addr uint64
+
+// Fundamental geometry constants. These are fixed by the modelled
+// architecture (x86-64 with 5-level paging) and are not configurable.
+const (
+	LineBits = 6 // log2 of the cache-line size
+	LineSize = 1 << LineBits
+
+	PageBits = 12 // log2 of the page size
+	PageSize = 1 << PageBits
+
+	LinesPerPage = PageSize / LineSize // 64
+
+	PTESize     = 8                  // bytes per page-table entry
+	PTEsPerLine = LineSize / PTESize // 8
+
+	VABits    = 57 // virtual address width (5-level paging)
+	LevelBits = 9  // VPN bits consumed per page-table level
+	PTLevels  = 5  // radix levels; level 1 is the leaf for 4KB pages
+
+	HugePageBits = 21 // log2 of a 2MB huge page (leaf at level 2)
+	HugePageSize = 1 << HugePageBits
+)
+
+// HugePageNumber returns the 2MB-page number containing a.
+func HugePageNumber(a Addr) Addr { return a >> HugePageBits }
+
+// HugePageBase returns the first byte of a's 2MB page.
+func HugePageBase(a Addr) Addr { return a &^ (HugePageSize - 1) }
+
+// LineAddr returns the cache-line number containing a.
+func LineAddr(a Addr) Addr { return a >> LineBits }
+
+// LineBase returns the address of the first byte of a's cache line.
+func LineBase(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns the byte offset of a within its cache line.
+func LineOffset(a Addr) Addr { return a & (LineSize - 1) }
+
+// PageNumber returns the page number containing a.
+func PageNumber(a Addr) Addr { return a >> PageBits }
+
+// PageBase returns the address of the first byte of a's page.
+func PageBase(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// PageOffset returns the byte offset of a within its page.
+func PageOffset(a Addr) Addr { return a & (PageSize - 1) }
+
+// LineInPage returns the index (0..63) of a's cache line within its page.
+// For a leaf-level page-walk request this is the "upper six bits of the page
+// offset" that the paper's modified page-table walker carries so that ATP can
+// prefetch the replay line.
+func LineInPage(a Addr) uint8 { return uint8((a >> LineBits) & (LinesPerPage - 1)) }
+
+// VPNChunk returns the 9-bit radix index used at the given page-table level
+// (level in [1,5]; level 1 indexes the leaf table). For level k the chunk is
+// VA[12+9k-1 : 12+9(k-1)].
+func VPNChunk(va Addr, level int) uint64 {
+	shift := uint(PageBits + LevelBits*(level-1))
+	return uint64(va>>shift) & (1<<LevelBits - 1)
+}
+
+// VPNPrefix returns the virtual page number truncated so that all addresses
+// sharing the same page-table node at the given level compare equal. It keys
+// the paging-structure cache for that level: a PSCL-k entry maps the prefix
+// of levels 5..k to the frame of the level k-1 table.
+func VPNPrefix(va Addr, level int) uint64 {
+	shift := uint(PageBits + LevelBits*(level-1))
+	return uint64(va >> shift)
+}
+
+// Kind distinguishes the flavours of memory requests travelling through the
+// cache hierarchy.
+type Kind uint8
+
+const (
+	// Load is a demand data read.
+	Load Kind = iota
+	// Store is a demand write (modelled as read-for-ownership).
+	Store
+	// IFetch is an instruction fetch.
+	IFetch
+	// Translation is a page-table-walker read of a PTE line.
+	Translation
+	// Prefetch is a hardware prefetch.
+	Prefetch
+	// Writeback is a dirty-eviction write to the next level.
+	Writeback
+)
+
+// String returns the lower-case mnemonic for k.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case IFetch:
+		return "ifetch"
+	case Translation:
+		return "translation"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// Class is the access taxonomy used for statistics and for the
+// translation-conscious replacement policies: leaf translations, upper-level
+// translations, replay loads (demand loads whose translation missed the
+// STLB), non-replay loads, prefetches and writebacks.
+type Class uint8
+
+const (
+	// ClassNonReplay is a demand access whose translation hit the DTLB or STLB.
+	ClassNonReplay Class = iota
+	// ClassReplay is a demand access whose translation walked the page table.
+	ClassReplay
+	// ClassTransLeaf is a page-walk read of a leaf-level (level 1) PTE line.
+	ClassTransLeaf
+	// ClassTransUpper is a page-walk read of an upper-level PTE line.
+	ClassTransUpper
+	// ClassPrefetch is a hardware prefetch fill.
+	ClassPrefetch
+	// ClassWriteback is a dirty writeback from an upper level.
+	ClassWriteback
+	// NumClasses is the number of access classes.
+	NumClasses
+)
+
+// String returns the short label used in reports.
+func (c Class) String() string {
+	switch c {
+	case ClassNonReplay:
+		return "non-replay"
+	case ClassReplay:
+		return "replay"
+	case ClassTransLeaf:
+		return "trans-leaf"
+	case ClassTransUpper:
+		return "trans-upper"
+	case ClassPrefetch:
+		return "prefetch"
+	case ClassWriteback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// Request is a memory access descriptor. One Request value describes a single
+// access as it traverses TLBs, caches and DRAM; the latency-composition model
+// passes it down the hierarchy by pointer.
+type Request struct {
+	// Addr is the physical byte address.
+	Addr Addr
+	// VAddr is the virtual byte address that produced Addr (zero for
+	// writebacks and DRAM-side prefetches).
+	VAddr Addr
+	// IP is the program counter of the instruction that caused the access.
+	// Page-walk requests inherit the IP of the triggering load, which is
+	// exactly the signature-aliasing problem the paper identifies.
+	IP Addr
+	// Kind is the request flavour.
+	Kind Kind
+	// IsReplay marks demand accesses whose translation missed the STLB.
+	IsReplay bool
+	// Level is the page-table level being read (1..5) for Translation
+	// requests; 0 otherwise.
+	Level int
+	// Leaf marks the walk step that yields the physical frame: level 1 for
+	// 4KB pages, level 2 for 2MB huge pages.
+	Leaf bool
+	// ReplayTarget is, for leaf-level Translation requests, the physical
+	// address of the cache line the triggering load will access once the
+	// translation completes. In hardware the walker carries VA[11:6] and the
+	// PTE supplies the frame; the simulator precomputes the full address.
+	// Zero when unknown or inapplicable.
+	ReplayTarget Addr
+	// Core identifies the requesting core (for SMT/multi-core stats).
+	Core int
+}
+
+// IsTranslation reports whether the request is a page-walk read.
+func (r *Request) IsTranslation() bool { return r.Kind == Translation }
+
+// IsLeaf reports whether the request reads a leaf-level PTE line (level 1
+// for 4KB pages, level 2 under 2MB huge pages).
+func (r *Request) IsLeaf() bool { return r.Kind == Translation && r.Leaf }
+
+// Class derives the statistics/policy class of the request.
+func (r *Request) Class() Class {
+	switch r.Kind {
+	case Translation:
+		if r.Leaf {
+			return ClassTransLeaf
+		}
+		return ClassTransUpper
+	case Prefetch:
+		return ClassPrefetch
+	case Writeback:
+		return ClassWriteback
+	default:
+		if r.IsReplay {
+			return ClassReplay
+		}
+		return ClassNonReplay
+	}
+}
+
+// Level identifies a level of the memory hierarchy that can service a
+// request; used for the Fig. 3 service-distribution statistics.
+type Level uint8
+
+// Hierarchy levels, ordered from the core outward.
+const (
+	LvlL1D Level = iota
+	LvlL2
+	LvlLLC
+	LvlDRAM
+	NumLevels
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case LvlL1D:
+		return "L1D"
+	case LvlL2:
+		return "L2C"
+	case LvlLLC:
+		return "LLC"
+	case LvlDRAM:
+		return "DRAM"
+	}
+	return "unknown"
+}

@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if LineSize != 64 {
+		t.Fatalf("LineSize = %d, want 64", LineSize)
+	}
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	if PTEsPerLine != 8 {
+		t.Fatalf("PTEsPerLine = %d, want 8", PTEsPerLine)
+	}
+	if got := PageBits + PTLevels*LevelBits; got != VABits {
+		t.Fatalf("page bits + levels*9 = %d, want %d", got, VABits)
+	}
+}
+
+func TestLineArithmetic(t *testing.T) {
+	a := Addr(0x12345)
+	if LineBase(a) != 0x12340 {
+		t.Errorf("LineBase(%#x) = %#x", a, LineBase(a))
+	}
+	if LineOffset(a) != 5 {
+		t.Errorf("LineOffset(%#x) = %d", a, LineOffset(a))
+	}
+	if LineAddr(a) != 0x12345>>6 {
+		t.Errorf("LineAddr(%#x) = %#x", a, LineAddr(a))
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	a := Addr(0xABCDE)
+	if PageBase(a) != 0xAB000 {
+		t.Errorf("PageBase(%#x) = %#x", a, PageBase(a))
+	}
+	if PageOffset(a) != 0xCDE {
+		t.Errorf("PageOffset(%#x) = %#x", a, PageOffset(a))
+	}
+	if PageNumber(a) != 0xAB {
+		t.Errorf("PageNumber(%#x) = %#x", a, PageNumber(a))
+	}
+}
+
+func TestLineInPage(t *testing.T) {
+	// Byte 0xCDE of the page sits in line 0xCDE>>6 = 0x33.
+	if got := LineInPage(0xABCDE); got != 0x33 {
+		t.Errorf("LineInPage = %#x, want 0x33", got)
+	}
+	if got := LineInPage(0x1000); got != 0 {
+		t.Errorf("LineInPage(page base) = %d, want 0", got)
+	}
+	if got := LineInPage(0x1FFF); got != 63 {
+		t.Errorf("LineInPage(page end) = %d, want 63", got)
+	}
+}
+
+func TestVPNChunkCoversVA(t *testing.T) {
+	// Reassembling the five chunks plus the page offset must reproduce the
+	// low 57 bits of the address.
+	f := func(raw uint64) bool {
+		va := Addr(raw) & (1<<VABits - 1)
+		var rebuilt uint64
+		for lvl := PTLevels; lvl >= 1; lvl-- {
+			rebuilt = rebuilt<<LevelBits | VPNChunk(va, lvl)
+		}
+		rebuilt = rebuilt<<PageBits | uint64(PageOffset(va))
+		return rebuilt == uint64(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPNPrefixNesting(t *testing.T) {
+	// Two addresses with equal prefixes at level k must have equal prefixes
+	// at all higher levels.
+	f := func(a, b uint64) bool {
+		va, vb := Addr(a)&(1<<VABits-1), Addr(b)&(1<<VABits-1)
+		for lvl := 1; lvl < PTLevels; lvl++ {
+			if VPNPrefix(va, lvl) == VPNPrefix(vb, lvl) &&
+				VPNPrefix(va, lvl+1) != VPNPrefix(vb, lvl+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugePageArithmetic(t *testing.T) {
+	a := Addr(0x1234_5678)
+	if HugePageBase(a) != a&^(HugePageSize-1) {
+		t.Errorf("HugePageBase(%#x) = %#x", a, HugePageBase(a))
+	}
+	if HugePageNumber(a) != a>>21 {
+		t.Errorf("HugePageNumber(%#x) = %#x", a, HugePageNumber(a))
+	}
+	if HugePageSize != 2<<20 {
+		t.Errorf("HugePageSize = %d", HugePageSize)
+	}
+}
+
+func TestRequestClass(t *testing.T) {
+	cases := []struct {
+		req  Request
+		want Class
+	}{
+		{Request{Kind: Load}, ClassNonReplay},
+		{Request{Kind: Store}, ClassNonReplay},
+		{Request{Kind: Load, IsReplay: true}, ClassReplay},
+		{Request{Kind: Store, IsReplay: true}, ClassReplay},
+		{Request{Kind: Translation, Level: 1, Leaf: true}, ClassTransLeaf},
+		{Request{Kind: Translation, Level: 2}, ClassTransUpper},
+		{Request{Kind: Translation, Level: 5}, ClassTransUpper},
+		{Request{Kind: Prefetch}, ClassPrefetch},
+		{Request{Kind: Writeback}, ClassWriteback},
+	}
+	for _, c := range cases {
+		if got := c.req.Class(); got != c.want {
+			t.Errorf("class(%v lvl=%d replay=%v) = %v, want %v",
+				c.req.Kind, c.req.Level, c.req.IsReplay, got, c.want)
+		}
+	}
+}
+
+func TestRequestLeafPredicates(t *testing.T) {
+	leaf := Request{Kind: Translation, Level: 1, Leaf: true}
+	if !leaf.IsTranslation() || !leaf.IsLeaf() {
+		t.Error("leaf translation predicates wrong")
+	}
+	upper := Request{Kind: Translation, Level: 3}
+	if !upper.IsTranslation() || upper.IsLeaf() {
+		t.Error("upper translation predicates wrong")
+	}
+	load := Request{Kind: Load}
+	if load.IsTranslation() || load.IsLeaf() {
+		t.Error("load predicates wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	kinds := map[Kind]string{
+		Load: "load", Store: "store", IFetch: "ifetch",
+		Translation: "translation", Prefetch: "prefetch", Writeback: "writeback",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	classes := map[Class]string{
+		ClassNonReplay: "non-replay", ClassReplay: "replay",
+		ClassTransLeaf: "trans-leaf", ClassTransUpper: "trans-upper",
+		ClassPrefetch: "prefetch", ClassWriteback: "writeback",
+	}
+	for c, want := range classes {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	levels := map[Level]string{LvlL1D: "L1D", LvlL2: "L2C", LvlLLC: "LLC", LvlDRAM: "DRAM"}
+	for l, want := range levels {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import (
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+// Bingo records, per spatial region, the footprint of lines touched while
+// the region was live, keyed by the region's trigger event (PC+offset with a
+// PC+address fallback folded into one hash here). When a new region is
+// triggered with a known history, the whole footprint is prefetched.
+// Regions are 2KB (32 lines) and never cross a page, so — as the paper
+// observes — Bingo cannot reach a replay load's untouched page either.
+
+const (
+	bingoRegionLines = 32 // 2KB regions
+	bingoActiveCap   = 64
+	bingoHistoryCap  = 1 << 12
+)
+
+type bingoRegion struct {
+	region    mem.Addr
+	key       uint32
+	footprint uint32 // bit per line in the region
+	lastTouch uint64
+}
+
+type bingo struct {
+	degree  int
+	tick    uint64
+	active  map[mem.Addr]*bingoRegion
+	history map[uint32]uint32 // trigger key -> footprint
+	// order is a FIFO of history keys so that capacity eviction is
+	// deterministic (map iteration order is randomized in Go, which would
+	// make simulations unreproducible).
+	order []uint32
+}
+
+func newBingo(opts Options) *bingo {
+	d := opts.Degree
+	if d <= 0 {
+		d = bingoRegionLines
+	}
+	return &bingo{
+		degree:  d,
+		active:  make(map[mem.Addr]*bingoRegion, bingoActiveCap),
+		history: make(map[uint32]uint32, bingoHistoryCap),
+	}
+}
+
+func (p *bingo) Name() string { return "bingo" }
+
+func bingoKey(ip mem.Addr, offset uint32) uint32 {
+	return uint32(hashBits(uint64(ip)<<6|uint64(offset), 20))
+}
+
+func (p *bingo) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+	line := mem.LineAddr(req.Addr)
+	region := line / bingoRegionLines
+	offset := uint32(line % bingoRegionLines)
+	p.tick++
+
+	if r, ok := p.active[region]; ok {
+		r.footprint |= 1 << offset
+		r.lastTouch = p.tick
+		return nil
+	}
+
+	// New region: retire the stalest active region into history first.
+	if len(p.active) >= bingoActiveCap {
+		var oldest *bingoRegion
+		for _, r := range p.active {
+			if oldest == nil || r.lastTouch < oldest.lastTouch {
+				oldest = r
+			}
+		}
+		p.retire(oldest)
+	}
+	key := bingoKey(req.IP, offset)
+	p.active[region] = &bingoRegion{
+		region:    region,
+		key:       key,
+		footprint: 1 << offset,
+		lastTouch: p.tick,
+	}
+
+	// Trigger: replay the remembered footprint.
+	fp, ok := p.history[key]
+	if !ok {
+		return nil
+	}
+	base := region * bingoRegionLines
+	out := make([]cache.Candidate, 0, p.degree)
+	for o := 0; o < bingoRegionLines && len(out) < p.degree; o++ {
+		if fp&(1<<o) != 0 && uint32(o) != offset {
+			out = append(out, cache.Candidate{Line: base + mem.Addr(o)})
+		}
+	}
+	return out
+}
+
+func (p *bingo) retire(r *bingoRegion) {
+	if r == nil {
+		return
+	}
+	for len(p.history) >= bingoHistoryCap && len(p.order) > 0 {
+		// Deterministic FIFO pressure relief: drop the oldest trigger. The
+		// table is a hash-indexed SRAM in hardware; a collision overwrites
+		// similarly.
+		oldest := p.order[0]
+		p.order = p.order[1:]
+		delete(p.history, oldest)
+	}
+	if _, exists := p.history[r.key]; !exists {
+		p.order = append(p.order, r.key)
+	}
+	p.history[r.key] = r.footprint
+	delete(p.active, r.region)
+}

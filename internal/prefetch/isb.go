@@ -1,0 +1,98 @@
+package prefetch
+
+import (
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+// ISB (irregular stream buffer) linearizes irregular but *temporally
+// correlated* access streams: consecutive misses observed from the same PC
+// are assigned consecutive addresses in a structural address space; a later
+// access to a linearized line prefetches the physical lines mapped just
+// after it. Because the mapping stores full physical line addresses, ISB
+// prefetches cross pages freely — which is why the paper finds it the only
+// conventional prefetcher that helps replay loads at all (≈20% ROB-stall
+// reduction on some benchmarks).
+
+const (
+	isbStreamGap = 256 // structural distance between new streams
+	isbMapCap    = 1 << 20
+)
+
+type isb struct {
+	degree int
+	// Per-PC training state: the structural address of the PC's last miss.
+	lastStruct map[mem.Addr]uint64
+	// Bidirectional physical-line <-> structural mappings.
+	toStruct map[mem.Addr]uint64
+	toPhys   map[uint64]mem.Addr
+	nextBase uint64
+}
+
+func newISB(opts Options) *isb {
+	d := opts.Degree
+	if d <= 0 {
+		d = 3
+	}
+	return &isb{
+		degree:     d,
+		lastStruct: make(map[mem.Addr]uint64),
+		toStruct:   make(map[mem.Addr]uint64),
+		toPhys:     make(map[uint64]mem.Addr),
+	}
+}
+
+func (p *isb) Name() string { return "isb" }
+
+func (p *isb) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+	line := mem.LineAddr(req.Addr)
+
+	// Capacity backstop: a real ISB keeps its mapping in off-chip metadata
+	// with on-chip caches; we simply reset when the tables outgrow the cap.
+	if len(p.toStruct) > isbMapCap {
+		p.lastStruct = make(map[mem.Addr]uint64)
+		p.toStruct = make(map[mem.Addr]uint64)
+		p.toPhys = make(map[uint64]mem.Addr)
+	}
+
+	s, mapped := p.toStruct[line]
+
+	// Training: append this line to the PC's structural stream.
+	if last, ok := p.lastStruct[req.IP]; ok && !mapped {
+		s = last + 1
+		// Only extend if the slot is free; otherwise start a new stream.
+		if _, taken := p.toPhys[s]; taken {
+			s = p.newStream()
+		}
+		p.link(line, s)
+		mapped = true
+	} else if !mapped {
+		s = p.newStream()
+		p.link(line, s)
+		mapped = true
+	}
+	p.lastStruct[req.IP] = s
+
+	// Prediction: replay the structural successors.
+	out := make([]cache.Candidate, 0, p.degree)
+	for i := uint64(1); i <= uint64(p.degree); i++ {
+		if phys, ok := p.toPhys[s+i]; ok && phys != line {
+			out = append(out, cache.Candidate{Line: phys})
+		}
+	}
+	return out
+}
+
+func (p *isb) newStream() uint64 {
+	p.nextBase += isbStreamGap
+	return p.nextBase
+}
+
+func (p *isb) link(line mem.Addr, s uint64) {
+	// Unlink a previous occupant of the physical line, if any.
+	if old, ok := p.toStruct[line]; ok {
+		delete(p.toPhys, old)
+	}
+	p.toStruct[line] = s
+	p.toPhys[s] = line
+}

@@ -1,0 +1,90 @@
+// Package prefetch implements the hardware data prefetchers evaluated by the
+// paper: next-line, IPCP (Pakalapati & Panda, ISCA'20) at the L1D, SPP
+// (Kim et al., MICRO'16), Bingo (Bakhshalipour et al., HPCA'19) and ISB
+// (Jain & Lin, MICRO'13) at the L2C. All implement cache.Prefetcher and
+// return physical line addresses.
+//
+// The paper's own prefetchers — ATP (translation-hit triggered) and TEMPO
+// (DRAM-controller translation-triggered) — are not here: they are hooks in
+// internal/cache and internal/dram because they are driven by page-walk
+// requests, not demand-access training.
+package prefetch
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+// Translator resolves a virtual address for cross-page prefetching (IPCP).
+// fast reports whether the translation hit the TLBs; a slow translation
+// models the prefetch stalling until the STLB fills, the late-prefetch
+// behaviour the paper observes for cross-page IPCP.
+type Translator func(va mem.Addr) (pa mem.Addr, fast bool)
+
+// Options configure prefetcher construction.
+type Options struct {
+	// Translate is required for "ipcp"; ignored by physical-address
+	// prefetchers.
+	Translate Translator
+	// Degree overrides the default prefetch degree when > 0.
+	Degree int
+}
+
+// New constructs a prefetcher by name: "none" (nil), "nextline", "ipcp",
+// "spp", "bingo" or "isb".
+func New(name string, opts Options) (cache.Prefetcher, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "nextline":
+		return newNextLine(opts), nil
+	case "ipcp":
+		if opts.Translate == nil {
+			return nil, fmt.Errorf("prefetch: ipcp needs a translator")
+		}
+		return newIPCP(opts), nil
+	case "spp":
+		return newSPP(opts), nil
+	case "bingo":
+		return newBingo(opts), nil
+	case "isb":
+		return newISB(opts), nil
+	}
+	return nil, fmt.Errorf("prefetch: unknown prefetcher %q", name)
+}
+
+// Names lists the constructible prefetchers.
+func Names() []string { return []string{"none", "nextline", "ipcp", "spp", "bingo", "isb"} }
+
+// nextLine prefetches the sequentially next lines on every demand miss.
+type nextLine struct{ degree int }
+
+func newNextLine(opts Options) *nextLine {
+	d := opts.Degree
+	if d <= 0 {
+		d = 1
+	}
+	return &nextLine{degree: d}
+}
+
+func (p *nextLine) Name() string { return "nextline" }
+
+func (p *nextLine) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+	if hit {
+		return nil
+	}
+	line := mem.LineAddr(req.Addr)
+	out := make([]cache.Candidate, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		next := line + mem.Addr(i)
+		// Stay within the physical page: beyond it the physical neighbour
+		// is unrelated to the virtual stream.
+		if next>>6 != line>>6 { // 64 lines per page: compare page numbers
+			break
+		}
+		out = append(out, cache.Candidate{Line: next})
+	}
+	return out
+}

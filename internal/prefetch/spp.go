@@ -1,0 +1,141 @@
+package prefetch
+
+import (
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+// SPP (signature path prefetcher) compresses the recent delta history of
+// each physical page into a 12-bit signature, learns signature→delta
+// transitions with confidence counters, and walks the learned path ahead of
+// the demand stream (lookahead), throttled by the product of path
+// confidences. Prefetches stay within the physical page, which is why the
+// paper finds SPP unable to cover replay loads: the replay line lives in a
+// page nobody has touched yet.
+
+const (
+	sppSigBits   = 12
+	sppSTEntries = 256
+	sppPTWays    = 4
+	sppCountMax  = 15
+	sppThreshold = 25 // percent confidence to keep walking the path
+	sppMaxDepth  = 6
+)
+
+type sppSTEntry struct {
+	page    mem.Addr
+	lastOff int8
+	sig     uint16
+	valid   bool
+}
+
+type sppDelta struct {
+	delta int8
+	count uint8
+}
+
+type sppPTEntry struct {
+	deltas [sppPTWays]sppDelta
+	total  uint8
+}
+
+type spp struct {
+	degree int
+	st     [sppSTEntries]sppSTEntry
+	pt     [1 << sppSigBits]sppPTEntry
+}
+
+func newSPP(opts Options) *spp {
+	d := opts.Degree
+	if d <= 0 {
+		d = 4
+	}
+	return &spp{degree: d}
+}
+
+func (p *spp) Name() string { return "spp" }
+
+func sppSigUpdate(sig uint16, delta int8) uint16 {
+	return (sig<<3 ^ uint16(uint8(delta))) & (1<<sppSigBits - 1)
+}
+
+func (p *spp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+	line := mem.LineAddr(req.Addr)
+	page := mem.PageNumber(req.Addr)
+	off := int8(line & (mem.LinesPerPage - 1))
+
+	e := &p.st[uint32(page)%sppSTEntries]
+	if !e.valid || e.page != page {
+		*e = sppSTEntry{page: page, lastOff: off, valid: true}
+		return nil
+	}
+	delta := off - e.lastOff
+	if delta == 0 {
+		return nil
+	}
+	// Train the pattern table for the old signature.
+	p.learn(e.sig, delta)
+	e.sig = sppSigUpdate(e.sig, delta)
+	e.lastOff = off
+
+	// Lookahead walk from the current signature.
+	var out []cache.Candidate
+	sig := e.sig
+	cur := int16(off)
+	conf := 100
+	for depth := 0; depth < sppMaxDepth && len(out) < p.degree; depth++ {
+		d, c, tot := p.best(sig)
+		if tot == 0 {
+			break
+		}
+		conf = conf * int(c) / int(tot)
+		if conf < sppThreshold {
+			break
+		}
+		cur += int16(d)
+		if cur < 0 || cur >= mem.LinesPerPage {
+			break // page boundary: SPP does not cross pages
+		}
+		out = append(out, cache.Candidate{Line: page<<6 | mem.Addr(cur)})
+		sig = sppSigUpdate(sig, d)
+	}
+	return out
+}
+
+// learn bumps the delta counter for sig, evicting the weakest way when full.
+func (p *spp) learn(sig uint16, delta int8) {
+	pe := &p.pt[sig]
+	if pe.total >= sppCountMax*sppPTWays {
+		// Global decay keeps counters comparable over time.
+		for i := range pe.deltas {
+			pe.deltas[i].count /= 2
+		}
+		pe.total /= 2
+	}
+	weakest := 0
+	for i := range pe.deltas {
+		d := &pe.deltas[i]
+		if d.count > 0 && d.delta == delta {
+			d.count++
+			pe.total++
+			return
+		}
+		if d.count < pe.deltas[weakest].count {
+			weakest = i
+		}
+	}
+	pe.deltas[weakest] = sppDelta{delta: delta, count: 1}
+	pe.total++
+}
+
+// best returns the strongest delta for sig with its count and the total.
+func (p *spp) best(sig uint16) (delta int8, count, total uint8) {
+	pe := &p.pt[sig]
+	bi := 0
+	for i := range pe.deltas {
+		if pe.deltas[i].count > pe.deltas[bi].count {
+			bi = i
+		}
+	}
+	return pe.deltas[bi].delta, pe.deltas[bi].count, pe.total
+}

@@ -1,0 +1,283 @@
+// Package ptw implements the hardware page-table walker and the MMU frontend
+// (DTLB/ITLB → STLB → walker) of one core.
+//
+// A walk first probes the paging-structure caches to skip upper levels, then
+// reads one PTE line per remaining level *through the data-cache hierarchy*
+// (L1D → L2C → LLC → DRAM), sequentially — each level's read depends on the
+// previous one. The leaf-level read carries the paper's extra walker state:
+// the IsLeafLevel flag (mem.Request.Level == 1) and the replay line target
+// (VA bits 11:6 combined with the translated frame), which is what lets ATP
+// at the L2C/LLC and TEMPO at the DRAM controller prefetch the replay load.
+package ptw
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+	"atcsim/internal/stats"
+	"atcsim/internal/tlb"
+	"atcsim/internal/vm"
+)
+
+// WalkerStats aggregates walker activity.
+type WalkerStats struct {
+	Walks    uint64
+	PTEReads uint64
+	// StepsPerLevel counts PTE reads by level (index 1..5).
+	StepsPerLevel [mem.PTLevels + 1]uint64
+	// LeafService records which hierarchy level serviced leaf PTE reads
+	// (the "T" series of the paper's Fig. 3).
+	LeafService stats.ServiceDist
+}
+
+// DefaultConcurrentWalks is the number of page walks the hardware walker
+// can have in flight (Sunny Cove ships two page walkers). This serializes
+// bursts of STLB misses, which is what exposes replay-load latency at the
+// ROB head (the paper's Fig. 1).
+const DefaultConcurrentWalks = 2
+
+// Walker walks the page table through the cache hierarchy.
+type Walker struct {
+	pt      *vm.PageTable
+	psc     *tlb.PSC
+	path    cache.Lower
+	st      WalkerStats
+	core    int
+	slots   []int64 // completion times of in-flight walks
+	maxSlot int
+}
+
+// NewWalker wires a walker to a page table, paging-structure caches and the
+// cache path its PTE reads enter (normally the L1D).
+func NewWalker(pt *vm.PageTable, psc *tlb.PSC, path cache.Lower, core int) (*Walker, error) {
+	if pt == nil || psc == nil || path == nil {
+		return nil, fmt.Errorf("ptw: nil dependency")
+	}
+	return &Walker{
+		pt: pt, psc: psc, path: path, core: core,
+		maxSlot: DefaultConcurrentWalks,
+	}, nil
+}
+
+// SetConcurrentWalks overrides the number of in-flight walks (≥1).
+func (w *Walker) SetConcurrentWalks(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.maxSlot = n
+}
+
+// admit returns the cycle at which a new walk may start, given the walker
+// occupancy; completed walks are pruned lazily.
+func (w *Walker) admit(cycle int64) int64 {
+	live := w.slots[:0]
+	for _, r := range w.slots {
+		if r > cycle {
+			live = append(live, r)
+		}
+	}
+	w.slots = live
+	if len(w.slots) < w.maxSlot {
+		return cycle
+	}
+	minI := 0
+	for i, r := range w.slots {
+		if r < w.slots[minI] {
+			minI = i
+		}
+	}
+	start := w.slots[minI]
+	w.slots[minI] = w.slots[len(w.slots)-1]
+	w.slots = w.slots[:len(w.slots)-1]
+	return start
+}
+
+// Stats returns a snapshot of walker counters.
+func (w *Walker) Stats() WalkerStats { return w.st }
+
+// ResetStats zeroes the counters.
+func (w *Walker) ResetStats() { w.st = WalkerStats{}; w.psc.ResetStats() }
+
+// WalkResult reports the outcome of a page-table walk.
+type WalkResult struct {
+	// PA is the translated physical address for the faulting access.
+	PA mem.Addr
+	// Ready is the cycle the translation becomes available.
+	Ready int64
+	// LeafSrc is the hierarchy level that serviced the leaf PTE read.
+	LeafSrc mem.Level
+	// Steps is the number of PTE reads performed.
+	Steps int
+	// Huge reports a 2MB mapping (leaf at level 2).
+	Huge bool
+}
+
+// Walk translates va starting at the given cycle, reading PTEs through the
+// cache path. ip is the triggering instruction's pointer (inherited by the
+// PTE reads, which is exactly the signature aliasing the paper fixes).
+func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
+	w.st.Walks++
+	// A free page walker must be available.
+	cycle = w.admit(cycle)
+	start := w.psc.Lookup(va)
+	cur := cycle + 1 // one-cycle parallel PSC lookup (Table I)
+
+	steps, pa, err := w.pt.Walk(va, start)
+	if err != nil {
+		return WalkResult{}, err
+	}
+	var leafSrc mem.Level
+	for _, s := range steps {
+		req := &mem.Request{
+			Addr:  s.PTEAddr,
+			VAddr: va,
+			IP:    ip,
+			Kind:  mem.Translation,
+			Level: s.Level,
+			Leaf:  s.Leaf,
+			Core:  w.core,
+		}
+		if s.Leaf {
+			// The walker carries VA[11:6]; combined with the PTE's frame it
+			// identifies the replay line (precomputed here — see DESIGN.md).
+			req.ReplayTarget = mem.LineBase(pa)
+		}
+		res := w.path.Access(req, cur)
+		cur = res.Ready
+		w.st.PTEReads++
+		w.st.StepsPerLevel[s.Level]++
+		if s.Leaf {
+			leafSrc = res.Src
+			w.st.LeafService.Record(res.Src)
+		} else if frame, ok := w.pt.NodeFrame(va, s.Level); ok {
+			// Reading a level-k PTE yields the pointer to the level-(k-1)
+			// table: fill PSCL-k.
+			w.psc.Insert(va, s.Level, frame)
+		}
+	}
+	w.slots = append(w.slots, cur)
+	return WalkResult{
+		PA: pa, Ready: cur, LeafSrc: leafSrc, Steps: len(steps),
+		Huge: w.pt.HugePages(),
+	}, nil
+}
+
+// MMUStats aggregates per-core translation activity.
+type MMUStats struct {
+	DTLBAccesses uint64
+	DTLBMisses   uint64
+	ITLBAccesses uint64
+	ITLBMisses   uint64
+	STLBAccesses uint64
+	STLBMisses   uint64
+}
+
+// MMU is the translation frontend of one core: first-level TLBs, the
+// unified STLB and the page-table walker.
+type MMU struct {
+	DTLB *tlb.TLB
+	ITLB *tlb.TLB
+	STLB *tlb.TLB
+	W    *Walker
+	st   MMUStats
+}
+
+// NewMMU assembles an MMU.
+func NewMMU(dtlb, itlb, stlb *tlb.TLB, w *Walker) (*MMU, error) {
+	if dtlb == nil || stlb == nil || w == nil {
+		return nil, fmt.Errorf("ptw: MMU needs dtlb, stlb and walker")
+	}
+	if itlb == nil {
+		itlb = dtlb
+	}
+	return &MMU{DTLB: dtlb, ITLB: itlb, STLB: stlb, W: w}, nil
+}
+
+// Stats returns a snapshot of the MMU counters.
+func (m *MMU) Stats() MMUStats { return m.st }
+
+// ResetStats zeroes the MMU, TLB and walker counters.
+func (m *MMU) ResetStats() {
+	m.st = MMUStats{}
+	m.DTLB.ResetStats()
+	if m.ITLB != m.DTLB {
+		m.ITLB.ResetStats()
+	}
+	m.STLB.ResetStats()
+	m.W.ResetStats()
+}
+
+// Translation is the outcome of an address translation.
+type Translation struct {
+	// PA is the physical address.
+	PA mem.Addr
+	// Ready is the cycle the physical address is available.
+	Ready int64
+	// STLBMiss reports that the translation walked the page table — the
+	// subsequent data access is a *replay load* in the paper's taxonomy.
+	STLBMiss bool
+	// LeafSrc is the level that serviced the leaf PTE (valid iff STLBMiss).
+	LeafSrc mem.Level
+}
+
+// Translate resolves va for a data access issued at the given cycle.
+func (m *MMU) Translate(va, ip mem.Addr, cycle int64) (Translation, error) {
+	return m.translate(m.DTLB, va, ip, cycle, &m.st.DTLBAccesses, &m.st.DTLBMisses)
+}
+
+// TranslateInstr resolves va for an instruction fetch.
+func (m *MMU) TranslateInstr(va, ip mem.Addr, cycle int64) (Translation, error) {
+	return m.translate(m.ITLB, va, ip, cycle, &m.st.ITLBAccesses, &m.st.ITLBMisses)
+}
+
+func (m *MMU) translate(l1 *tlb.TLB, va, ip mem.Addr, cycle int64, acc, miss *uint64) (Translation, error) {
+	*acc++
+	cur := cycle + l1.Latency()
+	if frame, hit := l1.Lookup(va); hit {
+		return Translation{PA: frame | mem.PageOffset(va), Ready: cur}, nil
+	}
+	*miss++
+	m.st.STLBAccesses++
+	cur += m.STLB.Latency()
+	if frame, hit := m.STLB.Lookup(va); hit {
+		l1.Insert(va, frame)
+		return Translation{PA: frame | mem.PageOffset(va), Ready: cur}, nil
+	}
+	m.st.STLBMisses++
+	res, err := m.W.Walk(va, ip, cur)
+	if err != nil {
+		return Translation{}, err
+	}
+	if res.Huge {
+		frame := mem.HugePageBase(res.PA)
+		m.STLB.InsertHuge(va, frame)
+		l1.InsertHuge(va, frame)
+	} else {
+		frame := mem.PageBase(res.PA)
+		m.STLB.Insert(va, frame)
+		l1.Insert(va, frame)
+	}
+	return Translation{PA: res.PA, Ready: res.Ready, STLBMiss: true, LeafSrc: res.LeafSrc}, nil
+}
+
+// Probe checks whether va currently translates without a walk (DTLB or STLB
+// hit), without disturbing statistics or LRU state more than a real probe
+// port would. It is used by cross-page prefetchers (IPCP) that consult the
+// STLB before issuing.
+func (m *MMU) Probe(va mem.Addr) (pa mem.Addr, ok bool) {
+	if frame, hit := m.DTLB.Lookup(va); hit {
+		return frame | mem.PageOffset(va), true
+	}
+	if frame, hit := m.STLB.Lookup(va); hit {
+		return frame | mem.PageOffset(va), true
+	}
+	return 0, false
+}
+
+// Known translates va through the simulator's page table without touching
+// any hardware state — the oracle used by TEMPO-style DRAM prefetching and
+// by tests.
+func (m *MMU) Known(va mem.Addr) (mem.Addr, error) {
+	return m.W.pt.Translate(va)
+}

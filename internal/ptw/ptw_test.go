@@ -1,0 +1,281 @@
+package ptw
+
+import (
+	"testing"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+	"atcsim/internal/tlb"
+	"atcsim/internal/vm"
+)
+
+type recordingPath struct {
+	latency int64
+	reqs    []mem.Request
+	src     mem.Level
+}
+
+func (r *recordingPath) Access(req *mem.Request, cycle int64) cache.Result {
+	r.reqs = append(r.reqs, *req)
+	return cache.Result{Ready: cycle + r.latency, Src: r.src}
+}
+
+func setup(t *testing.T) (*vm.PageTable, *tlb.PSC, *recordingPath, *Walker) {
+	t.Helper()
+	alloc, err := vm.NewFrameAllocator(30, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := vm.NewPageTable(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psc := tlb.NewPSC(tlb.DefaultPSCSizes())
+	path := &recordingPath{latency: 10, src: mem.LvlL2}
+	w, err := NewWalker(pt, psc, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, psc, path, w
+}
+
+func TestWalkerValidation(t *testing.T) {
+	if _, err := NewWalker(nil, nil, nil, 0); err == nil {
+		t.Error("nil deps accepted")
+	}
+}
+
+func TestColdWalkReadsFiveLevels(t *testing.T) {
+	pt, _, path, w := setup(t)
+	va := mem.Addr(0x7000_1234)
+	res, err := w.Walk(va, 0x400100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 5 || len(path.reqs) != 5 {
+		t.Fatalf("steps = %d reqs = %d, want 5", res.Steps, len(path.reqs))
+	}
+	// Sequential: PSC lookup (1 cycle) + 5 reads of 10 cycles each.
+	if res.Ready != 100+1+5*10 {
+		t.Errorf("ready = %d, want 151", res.Ready)
+	}
+	want, _ := pt.Translate(va)
+	if res.PA != want {
+		t.Errorf("PA = %#x, want %#x", res.PA, want)
+	}
+	// Request fields: translation kind, descending levels, IP inherited.
+	for i, r := range path.reqs {
+		if r.Kind != mem.Translation || r.Level != 5-i || r.IP != 0x400100 {
+			t.Errorf("req %d = kind %v level %d ip %#x", i, r.Kind, r.Level, r.IP)
+		}
+	}
+	// Only the leaf carries the replay target: the line of the data PA.
+	for i, r := range path.reqs {
+		if r.Level == 1 {
+			if r.ReplayTarget != mem.LineBase(want) {
+				t.Errorf("leaf replay target = %#x, want %#x", r.ReplayTarget, mem.LineBase(want))
+			}
+		} else if r.ReplayTarget != 0 {
+			t.Errorf("req %d (level %d) carries replay target", i, r.Level)
+		}
+	}
+	if res.LeafSrc != mem.LvlL2 {
+		t.Errorf("leaf src = %v", res.LeafSrc)
+	}
+	st := w.Stats()
+	if st.Walks != 1 || st.PTEReads != 5 || st.StepsPerLevel[1] != 1 || st.StepsPerLevel[5] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LeafService.Count[mem.LvlL2] != 1 {
+		t.Error("leaf service distribution not recorded")
+	}
+}
+
+func TestWarmWalkUsesPSC(t *testing.T) {
+	_, _, path, w := setup(t)
+	va := mem.Addr(0x7000_1234)
+	w.Walk(va, 1, 0)
+	path.reqs = nil
+	// Second walk to the same page: PSCL2 hit → leaf read only.
+	res, _ := w.Walk(va, 1, 1000)
+	if len(path.reqs) != 1 || path.reqs[0].Level != 1 {
+		t.Fatalf("warm walk reqs = %v", path.reqs)
+	}
+	if res.Ready != 1000+1+10 {
+		t.Errorf("warm ready = %d", res.Ready)
+	}
+	// A neighbouring page in the same 2MB region also walks leaf-only.
+	path.reqs = nil
+	w.Walk(va+mem.PageSize, 1, 2000)
+	if len(path.reqs) != 1 {
+		t.Errorf("neighbour page reqs = %d, want 1 (PSCL2 shared)", len(path.reqs))
+	}
+	// A page in a different level-4 region still hits PSCL5: 4 reads.
+	path.reqs = nil
+	w.Walk(va+1<<40, 1, 3000)
+	if len(path.reqs) != 4 {
+		t.Errorf("level-4-far page reqs = %d, want 4 (PSCL5 hit)", len(path.reqs))
+	}
+	// A page in a different level-5 region misses every PSC level: 5 reads.
+	path.reqs = nil
+	w.Walk(va+1<<48, 1, 4000)
+	if len(path.reqs) != 5 {
+		t.Errorf("far page reqs = %d, want 5", len(path.reqs))
+	}
+}
+
+func newMMU(t *testing.T, w *Walker) *MMU {
+	t.Helper()
+	dtlb := tlb.MustNew(tlb.Config{Name: "dtlb", Entries: 64, Ways: 4, Latency: 1})
+	itlb := tlb.MustNew(tlb.Config{Name: "itlb", Entries: 64, Ways: 4, Latency: 1})
+	stlb := tlb.MustNew(tlb.Config{Name: "stlb", Entries: 2048, Ways: 16, Latency: 8})
+	m, err := NewMMU(dtlb, itlb, stlb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMMUMissHitFlow(t *testing.T) {
+	pt, _, _, w := setup(t)
+	m := newMMU(t, w)
+	va := mem.Addr(0x9000_4321)
+
+	// Cold: DTLB miss, STLB miss, full walk → replay.
+	tr, err := m.Translate(va, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.STLBMiss {
+		t.Fatal("cold translate did not walk")
+	}
+	want, _ := pt.Translate(va)
+	if tr.PA != want {
+		t.Errorf("PA = %#x, want %#x", tr.PA, want)
+	}
+	// Walk latency: 1 (DTLB) + 8 (STLB) + 1 (PSC) + 5*10.
+	if tr.Ready != 0+1+8+1+50 {
+		t.Errorf("cold ready = %d, want 60", tr.Ready)
+	}
+
+	// Warm: DTLB hit, 1 cycle.
+	tr2, _ := m.Translate(va+8, 7, 100)
+	if tr2.STLBMiss || tr2.Ready != 101 {
+		t.Errorf("warm = %+v", tr2)
+	}
+	if mem.PageBase(tr2.PA) != mem.PageBase(want) {
+		t.Error("warm PA differs")
+	}
+
+	st := m.Stats()
+	if st.DTLBAccesses != 2 || st.DTLBMisses != 1 || st.STLBMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMMUSTLBHitFillsDTLB(t *testing.T) {
+	_, _, _, w := setup(t)
+	// Tiny DTLB (1 set × 2 ways per page set) to force DTLB evictions.
+	dtlb := tlb.MustNew(tlb.Config{Name: "dtlb", Entries: 2, Ways: 2, Latency: 1})
+	stlb := tlb.MustNew(tlb.Config{Name: "stlb", Entries: 2048, Ways: 16, Latency: 8})
+	m, _ := NewMMU(dtlb, nil, stlb, w)
+
+	va := mem.Addr(0x1000_0000)
+	m.Translate(va, 1, 0) // walk, fills both
+	// Thrash the DTLB.
+	m.Translate(va+1*mem.PageSize, 1, 100)
+	m.Translate(va+2*mem.PageSize, 1, 200)
+	// Original page: DTLB miss but STLB hit; latency 1+8, no walk.
+	tr, _ := m.Translate(va, 1, 300)
+	if tr.STLBMiss {
+		t.Error("STLB-hit translation flagged as replay")
+	}
+	if tr.Ready != 300+9 {
+		t.Errorf("STLB-hit ready = %d, want 309", tr.Ready)
+	}
+}
+
+func TestMMUInstrPath(t *testing.T) {
+	_, _, _, w := setup(t)
+	m := newMMU(t, w)
+	tr, err := m.TranslateInstr(0x40_0000, 0x40_0000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.STLBMiss {
+		t.Error("cold ifetch should walk")
+	}
+	st := m.Stats()
+	if st.ITLBAccesses != 1 || st.ITLBMisses != 1 || st.DTLBAccesses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProbeAndKnown(t *testing.T) {
+	pt, _, _, w := setup(t)
+	m := newMMU(t, w)
+	va := mem.Addr(0x2222_0000)
+	if _, ok := m.Probe(va); ok {
+		t.Error("probe hit before any translation")
+	}
+	m.Translate(va, 1, 0)
+	pa, ok := m.Probe(va + 64)
+	if !ok {
+		t.Fatal("probe missed after walk")
+	}
+	want, _ := pt.Translate(va + 64)
+	if pa != want {
+		t.Errorf("probe PA = %#x, want %#x", pa, want)
+	}
+	known, err := m.Known(va + 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, _ := pt.Translate(va + 128)
+	if known != want2 {
+		t.Errorf("Known = %#x, want %#x", known, want2)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	_, _, _, w := setup(t)
+	m := newMMU(t, w)
+	m.Translate(0x123000, 1, 0)
+	m.ResetStats()
+	if m.Stats().DTLBAccesses != 0 || w.Stats().Walks != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestWalkerConcurrencyLimit(t *testing.T) {
+	_, _, path, w := setup(t)
+	path.latency = 100
+	w.SetConcurrentWalks(1)
+	// Prime the PSCs so each walk is a single leaf read of 100 cycles.
+	va := mem.Addr(0x5000_0000)
+	w.Walk(va, 1, 0)
+
+	// Two walks to different pages in the same region issued back-to-back:
+	// with one walker the second must queue behind the first.
+	r1, _ := w.Walk(va+1*mem.PageSize, 1, 10_000)
+	r2, _ := w.Walk(va+2*mem.PageSize, 1, 10_000)
+	if r2.Ready < r1.Ready+100 {
+		t.Errorf("second walk ready %d, want >= %d (serialized)", r2.Ready, r1.Ready+100)
+	}
+
+	// With two walkers they overlap.
+	w.SetConcurrentWalks(2)
+	r3, _ := w.Walk(va+3*mem.PageSize, 1, 20_000)
+	r4, _ := w.Walk(va+4*mem.PageSize, 1, 20_000)
+	if r4.Ready != r3.Ready {
+		t.Errorf("parallel walks ready %d vs %d, want equal", r3.Ready, r4.Ready)
+	}
+}
+
+func TestSetConcurrentWalksFloor(t *testing.T) {
+	_, _, _, w := setup(t)
+	w.SetConcurrentWalks(0) // clamps to 1
+	if _, err := w.Walk(0x1000, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package repl
+
+import "atcsim/internal/mem"
+
+// Hawkeye (Jain & Lin, ISCA'16): learns Belady's OPT decisions on a sample
+// of sets (OPTgen with an occupancy vector) and trains a signature-indexed
+// predictor that classifies fills as cache-friendly (insert RRPV=0) or
+// cache-averse (insert RRPV=7). Victims are cache-averse blocks first; when
+// a predicted-friendly block must be evicted the predictor is detrained.
+//
+// hawkeyeOpts.newSign applies the paper's translation/replay-aware
+// signatures; transMRU pins leaf translations at RRPV=0 (T-Hawkeye).
+
+const (
+	hawkMaxRRPV    = 7 // 3-bit RRPV
+	hawkAgeCap     = 6 // friendly blocks age up to 6, never to 7
+	hawkPredBits   = 13
+	hawkPredMax    = 7
+	hawkPredInit   = 4  // weakly friendly
+	hawkSampleMask = 15 // one in 16 sets feeds OPTgen
+)
+
+type hawkeyeOpts struct {
+	newSign  bool
+	transMRU bool
+}
+
+// optEntry is the sampler's record of the previous access to a line.
+type optEntry struct {
+	quantum uint32
+	sig     uint32
+}
+
+// optSet is OPTgen state for one sampled set: a sliding occupancy vector
+// over time quanta (one quantum per access) plus the last-access history.
+type optSet struct {
+	occ     []uint16 // ring buffer, len = window
+	quantum uint32
+	hist    map[mem.Addr]optEntry
+}
+
+type hawkeye struct {
+	opts     hawkeyeOpts
+	sets     int
+	ways     int
+	window   uint32
+	rrpv     []uint8
+	sig      []uint32
+	friendly []bool
+	trained  []bool
+	pred     []uint8
+	samples  map[int]*optSet
+	nameStr  string
+}
+
+func newHawkeye(sets, ways int, opts hawkeyeOpts) *hawkeye {
+	name := "hawkeye"
+	if opts.transMRU {
+		name = "t-hawkeye"
+	}
+	p := &hawkeye{
+		opts:     opts,
+		sets:     sets,
+		ways:     ways,
+		window:   uint32(8 * ways),
+		rrpv:     make([]uint8, sets*ways),
+		sig:      make([]uint32, sets*ways),
+		friendly: make([]bool, sets*ways),
+		trained:  make([]bool, sets*ways),
+		pred:     make([]uint8, 1<<hawkPredBits),
+		samples:  make(map[int]*optSet),
+		nameStr:  name,
+	}
+	for i := range p.rrpv {
+		p.rrpv[i] = hawkMaxRRPV
+	}
+	for i := range p.pred {
+		p.pred[i] = hawkPredInit
+	}
+	return p
+}
+
+func (p *hawkeye) Name() string { return p.nameStr }
+
+func (p *hawkeye) sampled(set int) *optSet {
+	if set&hawkSampleMask != 0 {
+		return nil
+	}
+	s, ok := p.samples[set]
+	if !ok {
+		s = &optSet{occ: make([]uint16, p.window), hist: make(map[mem.Addr]optEntry)}
+		p.samples[set] = s
+	}
+	return s
+}
+
+// train runs OPTgen for one access to a sampled set and updates the
+// predictor for the signature of the line's previous access.
+func (p *hawkeye) train(set int, a *Access, sig uint32) {
+	s := p.sampled(set)
+	if s == nil {
+		return
+	}
+	now := s.quantum
+	s.quantum++
+	// The quantum slot now is being reused: clear it for the new window edge.
+	s.occ[now%p.window] = 0
+
+	prev, seen := s.hist[a.Line]
+	if seen {
+		age := now - prev.quantum
+		switch {
+		case age == 0:
+			// Same-quantum re-access; nothing to learn.
+		case age < p.window:
+			// Would OPT have kept the line across [prev, now)?
+			hit := true
+			for q := prev.quantum; q != now; q++ {
+				if s.occ[q%p.window] >= uint16(p.ways) {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				for q := prev.quantum; q != now; q++ {
+					s.occ[q%p.window]++
+				}
+				if p.pred[prev.sig] < hawkPredMax {
+					p.pred[prev.sig]++
+				}
+			} else if p.pred[prev.sig] > 0 {
+				p.pred[prev.sig]--
+			}
+		default:
+			// Reuse beyond the window: OPT would not have kept it.
+			if p.pred[prev.sig] > 0 {
+				p.pred[prev.sig]--
+			}
+		}
+	}
+	s.hist[a.Line] = optEntry{quantum: now, sig: sig}
+
+	// Bound the sampler history: entries that fell out of the window are
+	// evicted from the sampler, and — as in Hawkeye's sampled cache — an
+	// entry leaving without an in-window reuse detrains its signature.
+	if len(s.hist) > 4*int(p.window) {
+		for l, e := range s.hist {
+			if now-e.quantum >= p.window {
+				if p.pred[e.sig] > 0 {
+					p.pred[e.sig]--
+				}
+				delete(s.hist, l)
+			}
+		}
+	}
+}
+
+func (p *hawkeye) predictFriendly(sig uint32) bool { return p.pred[sig] >= hawkPredInit }
+
+func (p *hawkeye) Victim(set int, _ *Access, evictable func(int) bool) int {
+	base := set * p.ways
+	// Prefer a cache-averse block (RRPV==7).
+	for w := 0; w < p.ways; w++ {
+		if p.rrpv[base+w] == hawkMaxRRPV && evictable(w) {
+			return w
+		}
+	}
+	// Otherwise evict the oldest friendly block and detrain its signature.
+	best := -1
+	var bestV uint8
+	for w := 0; w < p.ways; w++ {
+		if !evictable(w) {
+			continue
+		}
+		if best < 0 || p.rrpv[base+w] > bestV {
+			best, bestV = w, p.rrpv[base+w]
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	i := base + best
+	if p.trained[i] && p.friendly[i] && p.pred[p.sig[i]] > 0 {
+		p.pred[p.sig[i]]--
+	}
+	return best
+}
+
+func (p *hawkeye) Insert(set, way int, a *Access) {
+	i := set*p.ways + way
+	if a.Kind == mem.Writeback {
+		p.trained[i] = false
+		p.friendly[i] = false
+		p.rrpv[i] = hawkMaxRRPV
+		return
+	}
+	sig := signature(a, hawkPredBits, p.opts.newSign)
+	p.train(set, a, sig)
+	p.sig[i] = sig
+	p.trained[i] = true
+
+	if a.Distant {
+		p.friendly[i] = false
+		p.rrpv[i] = hawkMaxRRPV
+		return
+	}
+	if p.opts.transMRU && a.Class == mem.ClassTransLeaf {
+		p.friendly[i] = true
+		p.rrpv[i] = 0
+		return
+	}
+	if p.predictFriendly(sig) {
+		p.friendly[i] = true
+		p.rrpv[i] = 0
+		// Age everyone else so older friendly blocks become evictable.
+		base := set * p.ways
+		for w := 0; w < p.ways; w++ {
+			if w != way && p.rrpv[base+w] < hawkAgeCap {
+				p.rrpv[base+w]++
+			}
+		}
+	} else {
+		p.friendly[i] = false
+		p.rrpv[i] = hawkMaxRRPV
+	}
+}
+
+func (p *hawkeye) Hit(set, way int, a *Access) {
+	i := set*p.ways + way
+	if a.Kind == mem.Writeback {
+		return
+	}
+	sig := signature(a, hawkPredBits, p.opts.newSign)
+	p.train(set, a, sig)
+	p.sig[i] = sig
+	p.friendly[i] = p.predictFriendly(sig) ||
+		(p.opts.transMRU && a.Class == mem.ClassTransLeaf)
+	if p.friendly[i] {
+		p.rrpv[i] = 0
+	}
+}
+
+func (p *hawkeye) Evicted(set, way int) {
+	i := set*p.ways + way
+	p.trained[i] = false
+	p.friendly[i] = false
+	p.rrpv[i] = hawkMaxRRPV
+}
+
+var _ Policy = (*hawkeye)(nil)

@@ -1,0 +1,56 @@
+package repl
+
+// lru is the least-recently-used baseline. It keeps a global monotonically
+// increasing use counter and per-block last-use stamps; the victim is the
+// block with the smallest stamp.
+type lru struct {
+	ways  int
+	stamp []uint64 // sets*ways last-use stamps
+	clock uint64
+}
+
+func newLRU(sets, ways int) *lru {
+	return &lru{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+func (p *lru) Name() string { return "lru" }
+
+func (p *lru) idx(set, way int) int { return set*p.ways + way }
+
+func (p *lru) touch(set, way int) {
+	p.clock++
+	p.stamp[p.idx(set, way)] = p.clock
+}
+
+func (p *lru) Victim(set int, _ *Access, evictable func(int) bool) int {
+	base := set * p.ways
+	best := -1
+	var bestStamp uint64
+	for w := 0; w < p.ways; w++ {
+		if !evictable(w) {
+			continue
+		}
+		if s := p.stamp[base+w]; best < 0 || s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func (p *lru) Insert(set, way int, a *Access) {
+	if a.Distant {
+		// Distant insertions go straight to LRU position.
+		p.stamp[p.idx(set, way)] = 0
+		return
+	}
+	p.touch(set, way)
+}
+
+func (p *lru) Hit(set, way int, _ *Access) { p.touch(set, way) }
+
+func (p *lru) Evicted(set, way int) {}
+
+var _ Policy = (*lru)(nil)

@@ -1,0 +1,192 @@
+package repl
+
+import "atcsim/internal/mem"
+
+// Simplified re-implementations of the two prior proposals the paper
+// compares against in §V-B. Both are deliberately compact: they reproduce
+// the mechanism the paper discusses, not every detail of the original
+// papers.
+
+// Bypasser is an optional Policy extension: a policy that can decline to
+// cache a filling block entirely (the block is forwarded upward without
+// allocation). Dead-block predictors use it.
+type Bypasser interface {
+	// ShouldBypass is consulted before a fill; returning true skips
+	// allocation at this level.
+	ShouldBypass(a *Access) bool
+}
+
+// csalt approximates CSALT-D (Marathe et al., MICRO'17): the cache is
+// way-partitioned between translation blocks and data blocks, and the
+// partition point adapts to the two classes' relative hit rates. Inside
+// each partition, SRRIP decides.
+type csalt struct {
+	rripBase
+	isTrans []bool // per block: belongs to the translation partition
+	// transWays is the current number of ways reserved for translations.
+	transWays int
+	// Hit/miss counters per class drive periodic repartitioning.
+	transHits, transMiss uint64
+	dataHits, dataMiss   uint64
+	events               uint64
+}
+
+const (
+	csaltMinWays    = 1
+	csaltRebalance  = 4096 // accesses between partition adjustments
+	csaltMaxPortion = 4    // translations never take more than ways/4
+)
+
+func newCSALT(sets, ways int) *csalt {
+	return &csalt{
+		rripBase:  newRRIPBase(sets, ways),
+		isTrans:   make([]bool, sets*ways),
+		transWays: csaltMinWays,
+	}
+}
+
+func (p *csalt) Name() string { return "csalt" }
+
+func (p *csalt) isTranslation(a *Access) bool {
+	return a.Class == mem.ClassTransLeaf || a.Class == mem.ClassTransUpper
+}
+
+// rebalance grows the translation partition when translations miss
+// relatively more than data, and shrinks it otherwise.
+func (p *csalt) rebalance() {
+	tm := ratio(p.transMiss, p.transMiss+p.transHits)
+	dm := ratio(p.dataMiss, p.dataMiss+p.dataHits)
+	max := p.ways / csaltMaxPortion
+	if max < csaltMinWays {
+		max = csaltMinWays
+	}
+	switch {
+	case tm > dm && p.transWays < max:
+		p.transWays++
+	case dm > tm && p.transWays > csaltMinWays:
+		p.transWays--
+	}
+	p.transHits, p.transMiss, p.dataHits, p.dataMiss = 0, 0, 0, 0
+}
+
+func (p *csalt) account(a *Access, hit bool) {
+	if p.isTranslation(a) {
+		if hit {
+			p.transHits++
+		} else {
+			p.transMiss++
+		}
+	} else {
+		if hit {
+			p.dataHits++
+		} else {
+			p.dataMiss++
+		}
+	}
+	p.events++
+	if p.events%csaltRebalance == 0 {
+		p.rebalance()
+	}
+}
+
+// Victim evicts within the filling class's partition: a translation fill
+// evicts a data block only while translations hold fewer ways than their
+// quota, and vice versa.
+func (p *csalt) Victim(set int, a *Access, evictable func(int) bool) int {
+	base := set * p.ways
+	occupied := 0
+	for w := 0; w < p.ways; w++ {
+		if p.isTrans[base+w] {
+			occupied++
+		}
+	}
+	wantTrans := p.isTranslation(a)
+	// Decide which partition gives up a way.
+	evictTrans := occupied > p.transWays || (wantTrans && occupied == p.transWays)
+	if !wantTrans && occupied < p.transWays {
+		evictTrans = false
+	}
+
+	best, bestV := -1, -1
+	for w := 0; w < p.ways; w++ {
+		if !evictable(w) || p.isTrans[base+w] != evictTrans {
+			continue
+		}
+		if v := int(p.rrpv[base+w]); v > bestV {
+			best, bestV = w, v
+		}
+	}
+	if best < 0 {
+		// Partition empty (or nothing evictable in it): fall back to SRRIP
+		// over everything evictable.
+		return p.victim(set, evictable)
+	}
+	return best
+}
+
+func (p *csalt) Insert(set, way int, a *Access) {
+	i := set*p.ways + way
+	p.isTrans[i] = p.isTranslation(a)
+	p.account(a, false)
+	if a.Distant {
+		p.set(set, way, rripMax)
+		return
+	}
+	p.set(set, way, rripLong)
+}
+
+func (p *csalt) Hit(set, way int, a *Access) {
+	p.account(a, true)
+	p.set(set, way, 0)
+}
+
+func (p *csalt) Evicted(set, way int) {}
+
+// cbpred approximates CbPred (Mazumdar et al., HPCA'21): SHiP with a
+// dead-block bypass — fills whose signature counter predicts no reuse are
+// not allocated at all, freeing capacity. As the paper argues, bypassing
+// dead blocks does not shorten the replay loads' stalls; the comparison
+// experiment quantifies that.
+type cbpred struct {
+	*ship
+	sample uint32
+}
+
+func newCBPred(sets, ways int) *cbpred {
+	return &cbpred{ship: newSHiP(sets, ways, shipOpts{})}
+}
+
+func (p *cbpred) Name() string { return "cbpred" }
+
+// ShouldBypass skips allocation for predicted-dead demand fills. One in 32
+// dead-predicted fills is allocated anyway (a deterministic sampling fill),
+// giving a wrongly-dead signature a path back: if the sampled block hits,
+// SHiP's normal training resurrects the counter.
+func (p *cbpred) ShouldBypass(a *Access) bool {
+	if a.Kind == mem.Writeback || a.Kind == mem.Prefetch {
+		return false
+	}
+	if p.shct[signature(a, shctBits, false)] != 0 {
+		return false
+	}
+	p.sample++
+	return p.sample%32 != 0
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+var (
+	_ Policy   = (*csalt)(nil)
+	_ Policy   = (*cbpred)(nil)
+	_ Bypasser = (*cbpred)(nil)
+)
+
+func init() {
+	Register("csalt", func(sets, ways int) Policy { return newCSALT(sets, ways) })
+	Register("cbpred", func(sets, ways int) Policy { return newCBPred(sets, ways) })
+}

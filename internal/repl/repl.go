@@ -1,0 +1,151 @@
+// Package repl implements cache replacement policies: the classic baselines
+// (LRU, SRRIP, BRRIP, DRRIP, SHiP, Hawkeye) and the paper's
+// translation-conscious variants (T-DRRIP, T-SHiP, T-Hawkeye) together with
+// the "NewSign" translation/replay-aware signature enhancement.
+//
+// A policy owns all of its per-block metadata, sized at construction for a
+// sets×ways cache. The cache invokes Victim when a full set needs an
+// eviction, Evicted as feedback when a block leaves, Insert when a block
+// fills, and Hit on every reuse.
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atcsim/internal/mem"
+)
+
+// Access describes one cache access from the policy's point of view.
+type Access struct {
+	// IP is the instruction pointer associated with the access (zero for
+	// writebacks and DRAM-side prefetches).
+	IP mem.Addr
+	// Line is the physical line address (byte address >> 6).
+	Line mem.Addr
+	// Class is the translation/replay taxonomy of the access.
+	Class mem.Class
+	// Kind is the raw request kind.
+	Kind mem.Kind
+	// Distant requests insertion with the highest eviction priority
+	// regardless of the policy's own prediction; the ATP/TEMPO prefetches
+	// use it (the paper inserts them with RRPV=3).
+	Distant bool
+}
+
+// Policy is a cache replacement policy: a victim-selection, insertion and
+// promotion strategy plus an eviction-feedback channel for learning
+// policies.
+type Policy interface {
+	// Name returns the canonical policy name.
+	Name() string
+	// Victim returns the way to evict in a full set. evictable reports
+	// whether a way may be evicted right now (false for blocks whose fill
+	// is still held by an MSHR); when no way is evictable the policy may
+	// return any way.
+	Victim(set int, a *Access, evictable func(way int) bool) int
+	// Insert records that a block for access a was filled into (set, way).
+	Insert(set, way int, a *Access)
+	// Hit records a reuse of the block at (set, way).
+	Hit(set, way int, a *Access)
+	// Evicted notifies the policy that the block at (set, way) left the
+	// cache (called before the replacing Insert).
+	Evicted(set, way int)
+}
+
+// Factory builds a policy instance for a sets×ways cache.
+type Factory func(sets, ways int) Policy
+
+var registry = map[string]Factory{}
+
+// Register adds a named policy factory; it panics on duplicates since that
+// is a programming error. It is exported so that downstream users can plug
+// their own policies into the simulator (see examples/custompolicy).
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("repl: duplicate policy " + name)
+	}
+	registry[name] = f
+}
+
+// New creates the named policy for a sets×ways cache.
+func New(name string, sets, ways int) (Policy, error) {
+	f, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("repl: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(sets, ways), nil
+}
+
+// MustNew is New that panics on error, for tests and internal wiring where
+// the name is a compile-time constant.
+func MustNew(name string, sets, ways int) Policy {
+	p, err := New(name, sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the sorted registered policy names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("lru", func(sets, ways int) Policy { return newLRU(sets, ways) })
+	Register("srrip", func(sets, ways int) Policy { return newSRRIP(sets, ways) })
+	Register("brrip", func(sets, ways int) Policy { return newBRRIP(sets, ways) })
+	Register("drrip", func(sets, ways int) Policy { return newDRRIP(sets, ways, drripOpts{}) })
+	Register("t-drrip", func(sets, ways int) Policy {
+		return newDRRIP(sets, ways, drripOpts{transMRU: true, replayDistant: true})
+	})
+	// Fig. 10 misconfiguration: both translations and replays pinned at RRPV=0.
+	Register("drrip-replay0", func(sets, ways int) Policy {
+		return newDRRIP(sets, ways, drripOpts{transMRU: true, replayMRU: true})
+	})
+	Register("ship", func(sets, ways int) Policy { return newSHiP(sets, ways, shipOpts{}) })
+	Register("ship-newsig", func(sets, ways int) Policy {
+		return newSHiP(sets, ways, shipOpts{newSign: true})
+	})
+	Register("t-ship", func(sets, ways int) Policy {
+		return newSHiP(sets, ways, shipOpts{newSign: true, transMRU: true})
+	})
+	Register("ship-replay0", func(sets, ways int) Policy {
+		return newSHiP(sets, ways, shipOpts{newSign: true, transMRU: true, replayMRU: true})
+	})
+	Register("hawkeye", func(sets, ways int) Policy { return newHawkeye(sets, ways, hawkeyeOpts{}) })
+	Register("t-hawkeye", func(sets, ways int) Policy {
+		return newHawkeye(sets, ways, hawkeyeOpts{newSign: true, transMRU: true})
+	})
+}
+
+// hashIP folds an instruction pointer into bits bits.
+func hashBits(v uint64, bits uint) uint32 {
+	v *= 0x9E3779B97F4A7C15 // Fibonacci hashing
+	return uint32(v >> (64 - bits))
+}
+
+// signature computes the SHCT/Hawkeye training signature. With newSign the
+// paper's enhancement is applied: translations and replay loads are shifted
+// into disjoint signature spaces so their reuse is learned independently of
+// the same IP's non-replay loads (Section IV, "Address translation conscious
+// signatures").
+func signature(a *Access, bits uint, newSign bool) uint32 {
+	ip := uint64(a.IP)
+	if newSign {
+		switch a.Class {
+		case mem.ClassTransLeaf, mem.ClassTransUpper:
+			ip = ip<<1 | 1 // signature_translations = IP << IsTranslation
+		case mem.ClassReplay:
+			ip = ip<<2 | 2 // signature_replayloads = IP << (IsReplay+IsTranslation)
+		}
+	}
+	return hashBits(ip, bits)
+}

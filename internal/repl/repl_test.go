@@ -1,0 +1,472 @@
+package repl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atcsim/internal/mem"
+)
+
+// evAll lets every way be evicted (the common test case).
+func evAll(int) bool { return true }
+
+func la(ip, line mem.Addr) *Access {
+	return &Access{IP: ip, Line: line, Class: mem.ClassNonReplay, Kind: mem.Load}
+}
+
+func transLeaf(ip, line mem.Addr) *Access {
+	return &Access{IP: ip, Line: line, Class: mem.ClassTransLeaf, Kind: mem.Translation}
+}
+
+func replay(ip, line mem.Addr) *Access {
+	return &Access{IP: ip, Line: line, Class: mem.ClassReplay, Kind: mem.Load}
+}
+
+func TestFactoryKnowsAllPolicies(t *testing.T) {
+	want := []string{
+		"lru", "srrip", "brrip", "drrip", "t-drrip", "drrip-replay0",
+		"ship", "ship-newsig", "t-ship", "ship-replay0", "hawkeye", "t-hawkeye",
+	}
+	for _, n := range want {
+		p, err := New(n, 64, 8)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := New("belady", 64, 8); err == nil {
+		t.Error("unknown policy did not error")
+	}
+	if len(Names()) < len(want) {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("lru", func(sets, ways int) Policy { return newLRU(sets, ways) })
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := newLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w, la(1, mem.Addr(w)))
+	}
+	// Way 0 is the oldest.
+	if v := p.Victim(0, la(1, 99), evAll); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	// Touch way 0; way 1 becomes the oldest.
+	p.Hit(0, 0, la(1, 0))
+	if v := p.Victim(0, la(1, 99), evAll); v != 1 {
+		t.Fatalf("victim after hit = %d, want 1", v)
+	}
+	// A distant insertion parks at LRU.
+	d := la(1, 50)
+	d.Distant = true
+	p.Insert(0, 2, d)
+	if v := p.Victim(0, la(1, 99), evAll); v != 2 {
+		t.Fatalf("victim after distant insert = %d, want 2", v)
+	}
+}
+
+func TestSRRIPBasics(t *testing.T) {
+	p := newSRRIP(2, 4)
+	a := la(7, 100)
+	p.Insert(0, 0, a)
+	if got := p.rrpv[0]; got != rripLong {
+		t.Errorf("insert RRPV = %d, want %d", got, rripLong)
+	}
+	p.Hit(0, 0, a)
+	if got := p.rrpv[0]; got != 0 {
+		t.Errorf("hit RRPV = %d, want 0", got)
+	}
+	// Fill remaining ways, hit them, then ensure victim search ages the set.
+	for w := 1; w < 4; w++ {
+		p.Insert(0, w, la(7, mem.Addr(w)))
+		p.Hit(0, w, la(7, mem.Addr(w)))
+	}
+	v := p.Victim(0, la(7, 200), evAll)
+	if v < 0 || v >= 4 {
+		t.Fatalf("victim out of range: %d", v)
+	}
+	// After aging, at least one block must be at max RRPV.
+	found := false
+	for w := 0; w < 4; w++ {
+		if p.rrpv[w] == rripMax {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("victim search did not age the set to max RRPV")
+	}
+	// Distant insertion goes straight to max.
+	d := la(7, 300)
+	d.Distant = true
+	p.Insert(1, 0, d)
+	if got := p.rrpv[1*4+0]; got != rripMax {
+		t.Errorf("distant insert RRPV = %d, want %d", got, rripMax)
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := newBRRIP(1, 16)
+	long := 0
+	for i := 0; i < 320; i++ {
+		p.Insert(0, i%16, la(1, mem.Addr(i)))
+		if p.rrpv[i%16] == rripLong {
+			long++
+		}
+	}
+	if long != 10 { // exactly 1 in 32 of 320 inserts
+		t.Errorf("long insertions = %d, want 10", long)
+	}
+}
+
+func TestDRRIPDueling(t *testing.T) {
+	p := newDRRIP(64, 4, drripOpts{})
+	start := p.psel
+	// Misses in the SRRIP leader set (set 0) push PSEL toward BRRIP.
+	for i := 0; i < 100; i++ {
+		p.Insert(0, i%4, la(1, mem.Addr(i)))
+	}
+	if p.psel <= start {
+		t.Errorf("PSEL did not increase: %d -> %d", start, p.psel)
+	}
+	// Misses in the BRRIP leader set (set 16) push it back.
+	mid := p.psel
+	for i := 0; i < 150; i++ {
+		p.Insert(16, i%4, la(1, mem.Addr(i)))
+	}
+	if p.psel >= mid {
+		t.Errorf("PSEL did not decrease: %d -> %d", mid, p.psel)
+	}
+}
+
+func TestTDRRIPInsertion(t *testing.T) {
+	p := newDRRIP(64, 4, drripOpts{transMRU: true, replayDistant: true})
+	// Leaf translations pin at RRPV=0 (lowest eviction priority).
+	p.Insert(2, 0, transLeaf(9, 500))
+	if got := p.rrpv[2*4+0]; got != 0 {
+		t.Errorf("T-DRRIP leaf translation RRPV = %d, want 0", got)
+	}
+	// Replay loads insert at RRPV=3 (dead on arrival).
+	p.Insert(2, 1, replay(9, 600))
+	if got := p.rrpv[2*4+1]; got != rripMax {
+		t.Errorf("T-DRRIP replay RRPV = %d, want %d", got, rripMax)
+	}
+	// Upper-level translations are NOT pinned (only leaf level).
+	up := &Access{IP: 9, Line: 700, Class: mem.ClassTransUpper, Kind: mem.Translation}
+	p.Insert(2, 2, up)
+	if got := p.rrpv[2*4+2]; got == 0 {
+		t.Error("upper-level translation unexpectedly pinned at RRPV=0")
+	}
+	// Non-replay loads follow plain DRRIP.
+	p.Insert(2, 3, la(9, 800))
+	if got := p.rrpv[2*4+3]; got != rripLong && got != rripMax {
+		t.Errorf("T-DRRIP non-replay RRPV = %d", got)
+	}
+}
+
+func TestDRRIPReplay0Misconfiguration(t *testing.T) {
+	p := newDRRIP(64, 4, drripOpts{transMRU: true, replayMRU: true})
+	p.Insert(2, 0, replay(9, 600))
+	if got := p.rrpv[2*4+0]; got != 0 {
+		t.Errorf("drrip-replay0 replay RRPV = %d, want 0", got)
+	}
+}
+
+func TestSHiPLearnsDeadSignature(t *testing.T) {
+	p := newSHiP(16, 4, shipOpts{})
+	deadIP := mem.Addr(0x400000)
+	a := la(deadIP, 1)
+	// Drive the signature's counter to zero: insert and evict untouched.
+	for i := 0; p.shctCounter(a) > 0 && i < 100; i++ {
+		p.Insert(0, 0, la(deadIP, mem.Addr(i)))
+		p.Evicted(0, 0)
+	}
+	if p.shctCounter(a) != 0 {
+		t.Fatal("SHCT counter did not reach zero")
+	}
+	// The next insert with that signature must be distant.
+	p.Insert(0, 1, la(deadIP, 999))
+	if got := p.rrpv[1]; got != rripMax {
+		t.Errorf("dead-signature insert RRPV = %d, want %d", got, rripMax)
+	}
+	// A hit trains the signature back up and promotes to 0.
+	p.Hit(0, 1, la(deadIP, 999))
+	if got := p.rrpv[1]; got != 0 {
+		t.Errorf("hit RRPV = %d, want 0", got)
+	}
+	if p.shctCounter(a) == 0 {
+		t.Error("hit did not increment SHCT")
+	}
+	// Now the same signature inserts long again.
+	p.Insert(0, 2, la(deadIP, 1234))
+	if got := p.rrpv[2]; got != rripLong {
+		t.Errorf("retrained insert RRPV = %d, want %d", got, rripLong)
+	}
+}
+
+func TestSHiPHitTrainsOncePerResidency(t *testing.T) {
+	p := newSHiP(16, 4, shipOpts{})
+	a := la(5, 10)
+	p.Insert(0, 0, a)
+	before := p.shctCounter(a)
+	p.Hit(0, 0, a)
+	p.Hit(0, 0, a)
+	p.Hit(0, 0, a)
+	if got := p.shctCounter(a); got != before+1 {
+		t.Errorf("SHCT after 3 hits = %d, want %d", got, before+1)
+	}
+}
+
+func TestNewSignatureSeparatesClasses(t *testing.T) {
+	// With newSign, the same IP produces distinct signatures for non-replay,
+	// replay and translation accesses — the core of the paper's fix for
+	// SHiP/Hawkeye mistraining.
+	ip := mem.Addr(0x401234)
+	n := signature(la(ip, 1), shctBits, true)
+	r := signature(replay(ip, 1), shctBits, true)
+	tr := signature(transLeaf(ip, 1), shctBits, true)
+	if n == r || n == tr || r == tr {
+		t.Errorf("signatures collide: nonreplay=%d replay=%d trans=%d", n, r, tr)
+	}
+	// Without newSign they all alias.
+	n0 := signature(la(ip, 1), shctBits, false)
+	r0 := signature(replay(ip, 1), shctBits, false)
+	tr0 := signature(transLeaf(ip, 1), shctBits, false)
+	if n0 != r0 || n0 != tr0 {
+		t.Error("baseline signatures should alias on IP")
+	}
+}
+
+func TestTSHiPDeadDataIPDoesNotKillTranslations(t *testing.T) {
+	// Reproduce the paper's Section III example: IP_X brings cache-averse
+	// demand loads AND page-table entries. With plain SHiP the dead data
+	// loads drive the shared signature to zero and translations get inserted
+	// distant; with T-SHiP the translation signature is independent and leaf
+	// translations are pinned at RRPV=0.
+	ipX := mem.Addr(0x400abc)
+
+	plain := newSHiP(16, 4, shipOpts{})
+	for i := 0; i < 50; i++ {
+		plain.Insert(0, 0, la(ipX, mem.Addr(i)))
+		plain.Evicted(0, 0)
+	}
+	plain.Insert(0, 1, transLeaf(ipX, 9999))
+	if got := plain.rrpv[1]; got != rripMax {
+		t.Errorf("plain SHiP translation insert RRPV = %d, want %d (mistrained)", got, rripMax)
+	}
+
+	tship := newSHiP(16, 4, shipOpts{newSign: true, transMRU: true})
+	for i := 0; i < 50; i++ {
+		tship.Insert(0, 0, la(ipX, mem.Addr(i)))
+		tship.Evicted(0, 0)
+	}
+	tship.Insert(0, 1, transLeaf(ipX, 9999))
+	if got := tship.rrpv[1]; got != 0 {
+		t.Errorf("T-SHiP translation insert RRPV = %d, want 0", got)
+	}
+}
+
+func TestSHiPWritebackNotTrained(t *testing.T) {
+	p := newSHiP(16, 4, shipOpts{})
+	wb := &Access{Line: 42, Class: mem.ClassWriteback, Kind: mem.Writeback}
+	p.Insert(0, 0, wb)
+	if got := p.rrpv[0]; got != rripMax {
+		t.Errorf("writeback insert RRPV = %d, want %d", got, rripMax)
+	}
+	// Evicting it must not touch any counter (trained=false).
+	c0 := p.shct[0]
+	p.Evicted(0, 0)
+	if p.shct[0] != c0 {
+		t.Error("writeback eviction trained the SHCT")
+	}
+}
+
+func TestHawkeyeFriendlyAndAverse(t *testing.T) {
+	p := newHawkeye(64, 4, hawkeyeOpts{})
+	// Fresh predictor is weakly friendly: inserts at RRPV 0.
+	p.Insert(1, 0, la(11, 100))
+	if got := p.rrpv[1*4]; got != 0 {
+		t.Errorf("friendly insert RRPV = %d, want 0", got)
+	}
+	// Drive a signature averse via OPTgen: thrash a sampled set (set 0) with
+	// far more unique lines than the window so every reuse is an OPT miss.
+	ip := mem.Addr(0x500000)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 200; i++ {
+			p.train(0, la(ip, mem.Addr(i)), signature(la(ip, mem.Addr(i)), hawkPredBits, false))
+		}
+	}
+	sig := signature(la(ip, 0), hawkPredBits, false)
+	if p.pred[sig] >= hawkPredInit {
+		t.Fatalf("predictor not averse after thrashing: %d", p.pred[sig])
+	}
+	p.Insert(1, 1, la(ip, 500))
+	if got := p.rrpv[1*4+1]; got != hawkMaxRRPV {
+		t.Errorf("averse insert RRPV = %d, want %d", got, hawkMaxRRPV)
+	}
+	// Victim prefers the averse block.
+	if v := p.Victim(1, la(11, 999), evAll); v != 1 {
+		t.Errorf("victim = %d, want the averse way 1", v)
+	}
+}
+
+func TestHawkeyeOPTgenRewardsReuse(t *testing.T) {
+	p := newHawkeye(64, 4, hawkeyeOpts{})
+	ip := mem.Addr(0x600000)
+	sig := signature(la(ip, 0), hawkPredBits, false)
+	start := p.pred[sig]
+	// Tight reuse of 2 lines in a sampled set: OPT hits, counter rises.
+	for i := 0; i < 20; i++ {
+		p.train(0, la(ip, mem.Addr(i%2)), sig)
+	}
+	if p.pred[sig] <= start {
+		t.Errorf("predictor did not learn reuse: %d -> %d", start, p.pred[sig])
+	}
+}
+
+func TestHawkeyeDetrainOnFriendlyEviction(t *testing.T) {
+	p := newHawkeye(64, 4, hawkeyeOpts{})
+	// Fill a set with friendly blocks.
+	for w := 0; w < 4; w++ {
+		p.Insert(2, w, la(21, mem.Addr(w)))
+	}
+	sig := signature(la(21, 0), hawkPredBits, false)
+	before := p.pred[sig]
+	// No averse block: victim must detrain the chosen friendly block.
+	p.Victim(2, la(22, 99), evAll)
+	if p.pred[sig] >= before {
+		t.Errorf("detraining did not lower predictor: %d -> %d", before, p.pred[sig])
+	}
+}
+
+func TestTHawkeyePinsLeafTranslations(t *testing.T) {
+	p := newHawkeye(64, 4, hawkeyeOpts{newSign: true, transMRU: true})
+	// Even with an averse predictor, leaf translations insert at 0.
+	a := transLeaf(0x700000, 123)
+	sig := signature(a, hawkPredBits, true)
+	p.pred[sig] = 0
+	p.Insert(3, 0, a)
+	if got := p.rrpv[3*4]; got != 0 {
+		t.Errorf("T-Hawkeye leaf translation RRPV = %d, want 0", got)
+	}
+}
+
+func TestVictimAlwaysInRange(t *testing.T) {
+	// Property: for every policy, after arbitrary access streams the victim
+	// way is within [0, ways).
+	for _, name := range Names() {
+		p := MustNew(name, 16, 4)
+		f := func(ops []uint16) bool {
+			for _, op := range ops {
+				set := int(op) % 16
+				way := int(op>>4) % 4
+				a := la(mem.Addr(op%7), mem.Addr(op))
+				switch op % 3 {
+				case 0:
+					p.Evicted(set, way)
+					p.Insert(set, way, a)
+				case 1:
+					p.Hit(set, way, a)
+				case 2:
+					// Alternate between all-evictable and a partial filter.
+					ev := evAll
+					if op%5 == 0 {
+						ev = func(w int) bool { return w != int(op>>6)%4 }
+					}
+					v := p.Victim(set, a, ev)
+					if v < 0 || v >= 4 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCSALTPartitions(t *testing.T) {
+	p := newCSALT(4, 8)
+	// Fill one set with data, then a translation fill must be able to take
+	// a way (fallback path when the translation partition is empty).
+	for w := 0; w < 8; w++ {
+		p.Insert(0, w, la(1, mem.Addr(w)))
+	}
+	v := p.Victim(0, transLeaf(2, 100), evAll)
+	if v < 0 || v >= 8 {
+		t.Fatalf("victim = %d", v)
+	}
+	p.Evicted(0, v)
+	p.Insert(0, v, transLeaf(2, 100))
+	// A data fill must now prefer evicting data, not the lone translation.
+	v2 := p.Victim(0, la(1, 200), evAll)
+	if v2 == v {
+		t.Errorf("data fill evicted the translation way %d", v)
+	}
+	// Rebalancing moves the partition point within bounds.
+	for i := 0; i < 3*csaltRebalance; i++ {
+		p.account(transLeaf(2, mem.Addr(i)), false) // translations always miss
+		p.account(la(1, mem.Addr(i)), true)         // data always hits
+	}
+	if p.transWays <= csaltMinWays {
+		t.Errorf("translation partition did not grow: %d", p.transWays)
+	}
+	if p.transWays > 8/csaltMaxPortion {
+		t.Errorf("translation partition exceeded quota: %d", p.transWays)
+	}
+}
+
+func TestCBPredBypassesDeadSignatures(t *testing.T) {
+	p := newCBPred(16, 4)
+	deadIP := mem.Addr(0x400000)
+	// Train the signature dead.
+	for i := 0; p.shctCounter(la(deadIP, 0)) > 0; i++ {
+		p.Insert(0, 0, la(deadIP, mem.Addr(i)))
+		p.Evicted(0, 0)
+	}
+	if !p.ShouldBypass(la(deadIP, 99)) {
+		t.Error("dead signature not bypassed")
+	}
+	liveIP := mem.Addr(0x500000)
+	if p.ShouldBypass(la(liveIP, 1)) {
+		t.Error("untrained signature bypassed")
+	}
+	wb := &Access{Line: 5, Class: mem.ClassWriteback, Kind: mem.Writeback}
+	if p.ShouldBypass(wb) {
+		t.Error("writeback bypassed")
+	}
+}
+
+func TestCSALTVictimRespectsEvictability(t *testing.T) {
+	p := newCSALT(2, 4)
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w, la(1, mem.Addr(w)))
+	}
+	// Only way 2 is evictable: the victim must be way 2 regardless of
+	// partition preferences.
+	only2 := func(w int) bool { return w == 2 }
+	if v := p.Victim(0, transLeaf(9, 99), only2); v != 2 {
+		t.Errorf("victim = %d, want 2 (only evictable way)", v)
+	}
+}
+
+func TestCSALTFactoryRegistered(t *testing.T) {
+	for _, n := range []string{"csalt", "cbpred"} {
+		p, err := New(n, 64, 8)
+		if err != nil || p.Name() != n {
+			t.Errorf("New(%q) = %v, %v", n, p, err)
+		}
+	}
+}

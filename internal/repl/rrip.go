@@ -1,0 +1,240 @@
+package repl
+
+import "atcsim/internal/mem"
+
+// Re-reference interval prediction (Jaleel et al., ISCA'10) with a 2-bit
+// RRPV per block: insert at 2 ("long"), promote to 0 on hit, evict RRPV 3
+// ("distant"), incrementing the whole set when no distant block exists.
+
+const (
+	rripMax  = 3 // 2-bit RRPV
+	rripLong = 2 // SRRIP insertion value
+)
+
+// rripBase holds the shared RRPV array and the victim/promotion machinery
+// for all RRIP-family policies.
+type rripBase struct {
+	ways int
+	rrpv []uint8
+}
+
+func newRRIPBase(sets, ways int) rripBase {
+	r := rripBase{ways: ways, rrpv: make([]uint8, sets*ways)}
+	for i := range r.rrpv {
+		r.rrpv[i] = rripMax
+	}
+	return r
+}
+
+func (r *rripBase) victim(set int, evictable func(int) bool) int {
+	base := set * r.ways
+	any := false
+	for w := 0; w < r.ways; w++ {
+		if evictable(w) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0
+	}
+	for {
+		for w := 0; w < r.ways; w++ {
+			if r.rrpv[base+w] == rripMax && evictable(w) {
+				return w
+			}
+		}
+		for w := 0; w < r.ways; w++ {
+			if r.rrpv[base+w] < rripMax {
+				r.rrpv[base+w]++
+			}
+		}
+	}
+}
+
+func (r *rripBase) set(set, way int, v uint8) { r.rrpv[set*r.ways+way] = v }
+
+// srrip is static RRIP.
+type srrip struct{ rripBase }
+
+func newSRRIP(sets, ways int) *srrip { return &srrip{newRRIPBase(sets, ways)} }
+
+func (p *srrip) Name() string { return "srrip" }
+
+func (p *srrip) Victim(set int, _ *Access, ev func(int) bool) int { return p.victim(set, ev) }
+
+func (p *srrip) Insert(set, way int, a *Access) {
+	if a.Distant {
+		p.set(set, way, rripMax)
+		return
+	}
+	p.set(set, way, rripLong)
+}
+
+func (p *srrip) Hit(set, way int, _ *Access) { p.set(set, way, 0) }
+
+func (p *srrip) Evicted(int, int) {}
+
+// brrip is bimodal RRIP: inserts at distant (3) except for a small fraction
+// of fills (1/32) that use the long (2) interval. A deterministic counter
+// replaces the usual PRNG so that simulations are reproducible.
+type brrip struct {
+	rripBase
+	throttle uint32
+}
+
+func newBRRIP(sets, ways int) *brrip { return &brrip{rripBase: newRRIPBase(sets, ways)} }
+
+func (p *brrip) Name() string { return "brrip" }
+
+func (p *brrip) Victim(set int, _ *Access, ev func(int) bool) int { return p.victim(set, ev) }
+
+func (p *brrip) insertValue() uint8 {
+	p.throttle++
+	if p.throttle%32 == 0 {
+		return rripLong
+	}
+	return rripMax
+}
+
+func (p *brrip) Insert(set, way int, a *Access) {
+	if a.Distant {
+		p.set(set, way, rripMax)
+		return
+	}
+	p.set(set, way, p.insertValue())
+}
+
+func (p *brrip) Hit(set, way int, _ *Access) { p.set(set, way, 0) }
+
+func (p *brrip) Evicted(int, int) {}
+
+// drripOpts configure the translation-conscious DRRIP variants.
+type drripOpts struct {
+	// transMRU pins leaf-level translation fills at RRPV=0 (T-DRRIP).
+	transMRU bool
+	// replayDistant inserts replay-load fills at RRPV=3 (T-DRRIP; the paper
+	// finds replay blocks are dead at the L2C).
+	replayDistant bool
+	// replayMRU inserts replay fills at RRPV=0 — the Fig. 10
+	// misconfiguration that degrades performance by pressuring translation
+	// blocks.
+	replayMRU bool
+}
+
+// drrip dynamically duels SRRIP against BRRIP insertion with 32+32 leader
+// sets and a 10-bit PSEL counter (set-dueling monitors).
+type drrip struct {
+	rripBase
+	opts     drripOpts
+	sets     int
+	psel     int // saturating in [0, pselMax]
+	throttle uint32
+	nameStr  string
+}
+
+const (
+	pselMax  = 1023
+	pselInit = 512
+)
+
+func newDRRIP(sets, ways int, opts drripOpts) *drrip {
+	name := "drrip"
+	switch {
+	case opts.transMRU && opts.replayDistant:
+		name = "t-drrip"
+	case opts.transMRU && opts.replayMRU:
+		name = "drrip-replay0"
+	}
+	return &drrip{
+		rripBase: newRRIPBase(sets, ways),
+		opts:     opts,
+		sets:     sets,
+		psel:     pselInit,
+		nameStr:  name,
+	}
+}
+
+func (p *drrip) Name() string { return p.nameStr }
+
+// leader classifies dueling leader sets: every 32nd set leads for SRRIP,
+// the set right after it leads for BRRIP.
+func (p *drrip) leader(set int) (srripLeader, brripLeader bool) {
+	switch set & 31 {
+	case 0:
+		return true, false
+	case 16:
+		return false, true
+	}
+	return false, false
+}
+
+func (p *drrip) Victim(set int, _ *Access, ev func(int) bool) int { return p.victim(set, ev) }
+
+func (p *drrip) Insert(set, way int, a *Access) {
+	// A fill implies a miss: update the duel for leader sets. Only demand
+	// fills vote; prefetches and writebacks stay out of the duel.
+	if a.Kind == mem.Load || a.Kind == mem.Store || a.Kind == mem.Translation {
+		if sl, bl := p.leader(set); sl && p.psel < pselMax {
+			p.psel++ // miss in an SRRIP leader: a vote for BRRIP
+		} else if bl && p.psel > 0 {
+			p.psel--
+		}
+	}
+
+	if a.Distant {
+		p.set(set, way, rripMax)
+		return
+	}
+	// Translation-conscious overrides (T-DRRIP, Section IV).
+	if p.opts.transMRU && a.Class == mem.ClassTransLeaf {
+		p.set(set, way, 0)
+		return
+	}
+	if a.Class == mem.ClassReplay {
+		if p.opts.replayDistant {
+			p.set(set, way, rripMax)
+			return
+		}
+		if p.opts.replayMRU {
+			p.set(set, way, 0)
+			return
+		}
+	}
+
+	useBRRIP := p.psel >= pselInit
+	if sl, bl := p.leader(set); sl {
+		useBRRIP = false
+	} else if bl {
+		useBRRIP = true
+	}
+	if useBRRIP {
+		p.throttle++
+		if p.throttle%32 != 0 {
+			p.set(set, way, rripMax)
+			return
+		}
+	}
+	p.set(set, way, rripLong)
+}
+
+func (p *drrip) Hit(set, way int, a *Access) {
+	// T-DRRIP: a replay block's single use has just happened — the paper
+	// finds replay blocks dead after insertion, so instead of promoting it
+	// to RRPV=0 (where it would pressure the pinned translations), mark it
+	// the next eviction candidate. This matters once ATP turns replay
+	// misses into hits on prefetched blocks.
+	if p.opts.replayDistant && a.Class == mem.ClassReplay {
+		p.set(set, way, rripMax)
+		return
+	}
+	p.set(set, way, 0)
+}
+
+func (p *drrip) Evicted(int, int) {}
+
+var (
+	_ Policy = (*srrip)(nil)
+	_ Policy = (*brrip)(nil)
+	_ Policy = (*drrip)(nil)
+)

@@ -1,0 +1,133 @@
+package repl
+
+import "atcsim/internal/mem"
+
+// SHiP (Wu et al., MICRO'11): SRRIP victim selection plus a Signature
+// History Counter Table (SHCT) that predicts, per signature, whether an
+// incoming block will be reused. Blocks whose signature counter is zero are
+// inserted at distant RRPV; all others at long. Counters increment when a
+// block hits and decrement when a block is evicted unreferenced.
+//
+// shipOpts.newSign applies the paper's translation/replay-aware signatures;
+// transMRU additionally pins leaf-translation fills at RRPV=0 (T-SHiP).
+
+const (
+	shctBits    = 14 // 16K-entry SHCT
+	shctEntries = 1 << shctBits
+	shctMax     = 7 // 3-bit counters
+	shctInit    = 1
+)
+
+type shipOpts struct {
+	newSign   bool
+	transMRU  bool
+	replayMRU bool // Fig. 10 misconfiguration
+}
+
+type ship struct {
+	rripBase
+	opts shipOpts
+	shct []uint8
+	// Per-block training state.
+	sig     []uint32
+	reused  []bool
+	trained []bool // block participates in SHCT training (has a signature)
+	nameStr string
+}
+
+func newSHiP(sets, ways int, opts shipOpts) *ship {
+	name := "ship"
+	switch {
+	case opts.transMRU && opts.replayMRU:
+		name = "ship-replay0"
+	case opts.transMRU:
+		name = "t-ship"
+	case opts.newSign:
+		name = "ship-newsig"
+	}
+	p := &ship{
+		rripBase: newRRIPBase(sets, ways),
+		opts:     opts,
+		shct:     make([]uint8, shctEntries),
+		sig:      make([]uint32, sets*ways),
+		reused:   make([]bool, sets*ways),
+		trained:  make([]bool, sets*ways),
+		nameStr:  name,
+	}
+	for i := range p.shct {
+		p.shct[i] = shctInit
+	}
+	return p
+}
+
+func (p *ship) Name() string { return p.nameStr }
+
+func (p *ship) Victim(set int, _ *Access, ev func(int) bool) int { return p.victim(set, ev) }
+
+func (p *ship) Insert(set, way int, a *Access) {
+	i := set*p.ways + way
+	// Writebacks carry no IP; they fill at distant without training.
+	if a.Kind == mem.Writeback {
+		p.trained[i] = false
+		p.reused[i] = false
+		p.set(set, way, rripMax)
+		return
+	}
+	s := signature(a, shctBits, p.opts.newSign)
+	p.sig[i] = s
+	p.reused[i] = false
+	p.trained[i] = true
+
+	if a.Distant {
+		p.set(set, way, rripMax)
+		return
+	}
+	if p.opts.transMRU && a.Class == mem.ClassTransLeaf {
+		p.set(set, way, 0)
+		return
+	}
+	if p.opts.replayMRU && a.Class == mem.ClassReplay {
+		p.set(set, way, 0)
+		return
+	}
+	if p.shct[s] == 0 {
+		p.set(set, way, rripMax) // predicted dead on arrival
+	} else {
+		p.set(set, way, rripLong)
+	}
+}
+
+func (p *ship) Hit(set, way int, a *Access) {
+	i := set*p.ways + way
+	if p.opts.transMRU && a.Class == mem.ClassReplay {
+		// T-SHiP: replay blocks are dead after their single use (see the
+		// T-DRRIP promotion note) — park the block at distant RRPV.
+		p.set(set, way, rripMax)
+	} else {
+		p.set(set, way, 0)
+	}
+	if p.trained[i] && !p.reused[i] {
+		p.reused[i] = true
+		if p.shct[p.sig[i]] < shctMax {
+			p.shct[p.sig[i]]++
+		}
+	}
+}
+
+func (p *ship) Evicted(set, way int) {
+	i := set*p.ways + way
+	if p.trained[i] && !p.reused[i] {
+		if p.shct[p.sig[i]] > 0 {
+			p.shct[p.sig[i]]--
+		}
+	}
+	p.trained[i] = false
+	p.reused[i] = false
+}
+
+// shctCounter exposes a signature's counter for tests.
+func (p *ship) shctCounter(a *Access) uint8 {
+	return p.shct[signature(a, shctBits, p.opts.newSign)]
+}
+
+var _ Policy = (*ship)(nil)

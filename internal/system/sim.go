@@ -1,0 +1,404 @@
+package system
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/cpu"
+	"atcsim/internal/dram"
+	"atcsim/internal/mem"
+	"atcsim/internal/prefetch"
+	"atcsim/internal/ptw"
+	"atcsim/internal/stats"
+	"atcsim/internal/tlb"
+	"atcsim/internal/trace"
+	"atcsim/internal/vm"
+)
+
+// coreCtx is the per-hardware-thread state of a run.
+type coreCtx struct {
+	id     int
+	tr     *trace.Trace
+	pos    int
+	core   *cpu.Core
+	bp     *cpu.Perceptron
+	mmu    *ptw.MMU
+	l1i    *cache.Cache
+	l1d    *cache.Cache
+	l2     *cache.Cache
+	stlb   *tlb.TLB
+	lastIL mem.Addr
+
+	replayService stats.ServiceDist
+	lastLoadDone  int64
+
+	phaseCount int
+	done       bool
+	baseCycle  int64
+	doneCycle  int64
+}
+
+// sim is a fully wired machine.
+type sim struct {
+	cfg     Config
+	cores   []*coreCtx
+	l1ds    []*cache.Cache // distinct L1D instances (1 for SMT)
+	l2s     []*cache.Cache
+	llc     *cache.Cache
+	channel *dram.Controller
+}
+
+// Run simulates a single-core machine over one trace.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	s, err := build(cfg, []*trace.Trace{tr}, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(), nil
+}
+
+// RunSMT simulates a 2-way SMT core: both hardware threads share the entire
+// cache hierarchy and split the ROB, matching the paper's SMT setup.
+func RunSMT(cfg Config, t0, t1 *trace.Trace) (*Result, error) {
+	cfg.CPU.ROBSize = defaultedROB(cfg.CPU) / 2
+	s, err := build(cfg, []*trace.Trace{t0, t1}, true)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(), nil
+}
+
+// RunMulti simulates one core per trace with private L1/L2/TLBs and a
+// shared LLC and DRAM channel. The LLC capacity scales with the core count
+// (2MB/slice per Table I); the extra slices add ways so the set count stays
+// a power of two.
+func RunMulti(cfg Config, traces []*trace.Trace) (*Result, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("system: no traces")
+	}
+	cfg.LLC.SizeBytes *= len(traces)
+	cfg.LLC.Ways *= len(traces)
+	// Table I: one DDR5 channel per four cores.
+	if cfg.DRAM.Channels < (len(traces)+3)/4 {
+		cfg.DRAM.Channels = (len(traces) + 3) / 4
+	}
+	s, err := build(cfg, traces, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(), nil
+}
+
+func defaultedROB(c cpu.Config) int {
+	if c.ROBSize > 0 {
+		return c.ROBSize
+	}
+	return cpu.DefaultConfig().ROBSize
+}
+
+// build wires the machine. shareCoreCaches makes all threads share one
+// L1I/L1D/L2 (SMT); otherwise those are private and only LLC/DRAM are
+// shared.
+func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, tr := range traces {
+		if tr == nil || len(tr.Insts) == 0 {
+			return nil, fmt.Errorf("system: trace %d is empty", i)
+		}
+	}
+
+	alloc, err := vm.NewFrameAllocator(cfg.PhysBits, !cfg.NoScatterFrames)
+	if err != nil {
+		return nil, err
+	}
+	channel := dram.NewController(cfg.DRAM)
+
+	llcCfg := cfg.LLC
+	llcCfg.TrackRecall = cfg.TrackRecall
+	llc, err := cache.New(llcCfg, cache.DRAMAdapter{Read: channel.Read, Write: channel.Write})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TEMPO {
+		channel.SetTEMPO(func(line mem.Addr, cycle int64) {
+			llc.Prefetch(line, cycle, true)
+		})
+	}
+
+	s := &sim{cfg: cfg, llc: llc, channel: channel}
+
+	var sharedL1I, sharedL1D *cache.Cache
+	var sharedL2 *cache.Cache
+	newCoreCaches := func() (*cache.Cache, *cache.Cache, *cache.Cache, error) {
+		l2Cfg := cfg.L2
+		l2Cfg.TrackRecall = cfg.TrackRecall
+		l2, err := cache.New(l2Cfg, llc)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if pf, err := prefetch.New(cfg.L2Prefetcher, prefetch.Options{}); err != nil {
+			return nil, nil, nil, err
+		} else if pf != nil {
+			l2.AttachPrefetcher(pf)
+		}
+		l1d, err := cache.New(cfg.L1D, l2)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		l1i, err := cache.New(cfg.L1I, l2)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return l1i, l1d, l2, nil
+	}
+
+	for i, tr := range traces {
+		var l1i, l1d, l2 *cache.Cache
+		if shareCoreCaches {
+			if sharedL2 == nil {
+				sharedL1I, sharedL1D, sharedL2, err = newCoreCaches()
+				if err != nil {
+					return nil, err
+				}
+				s.l1ds = append(s.l1ds, sharedL1D)
+				s.l2s = append(s.l2s, sharedL2)
+			}
+			l1i, l1d, l2 = sharedL1I, sharedL1D, sharedL2
+		} else {
+			l1i, l1d, l2, err = newCoreCaches()
+			if err != nil {
+				return nil, err
+			}
+			s.l1ds = append(s.l1ds, l1d)
+			s.l2s = append(s.l2s, l2)
+		}
+
+		pt, err := vm.NewPageTable(alloc)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.HugePages {
+			if err := pt.SetHugePages(true); err != nil {
+				return nil, err
+			}
+		}
+		psc := tlb.NewPSC(cfg.PSC)
+		walker, err := ptw.NewWalker(pt, psc, l1d, i)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.PageWalkers > 0 {
+			walker.SetConcurrentWalks(cfg.PageWalkers)
+		}
+		stlbCfg := cfg.STLB
+		stlbCfg.TrackRecall = cfg.TrackRecall
+		dtlb, err := tlb.New(cfg.DTLB)
+		if err != nil {
+			return nil, err
+		}
+		itlb, err := tlb.New(cfg.ITLB)
+		if err != nil {
+			return nil, err
+		}
+		stlb, err := tlb.New(stlbCfg)
+		if err != nil {
+			return nil, err
+		}
+		mmu, err := ptw.NewMMU(dtlb, itlb, stlb, walker)
+		if err != nil {
+			return nil, err
+		}
+
+		// The L1D prefetcher (IPCP) needs virtual→physical translation with
+		// TLB-probe semantics for cross-page candidates.
+		if cfg.L1DPrefetcher != "" && cfg.L1DPrefetcher != "none" {
+			translate := func(va mem.Addr) (mem.Addr, bool) {
+				if pa, ok := mmu.Probe(va); ok {
+					return pa, true
+				}
+				pa, err := mmu.Known(va)
+				if err != nil {
+					return 0, false
+				}
+				return pa, false
+			}
+			pf, err := prefetch.New(cfg.L1DPrefetcher, prefetch.Options{Translate: translate})
+			if err != nil {
+				return nil, err
+			}
+			if pf != nil && (!shareCoreCaches || i == 0) {
+				l1d.AttachPrefetcher(pf)
+			}
+		}
+
+		core, err := cpu.New(cfg.CPU)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, &coreCtx{
+			id:     i,
+			tr:     tr,
+			core:   core,
+			bp:     cpu.NewPerceptron(),
+			mmu:    mmu,
+			l1i:    l1i,
+			l1d:    l1d,
+			l2:     l2,
+			stlb:   stlb,
+			lastIL: ^mem.Addr(0),
+		})
+	}
+	return s, nil
+}
+
+// step executes one instruction on core c.
+func (s *sim) step(c *coreCtx) {
+	in := &c.tr.Insts[c.pos]
+	c.pos++
+	if c.pos == len(c.tr.Insts) {
+		c.pos = 0 // replay the trace cyclically
+	}
+
+	d := c.core.NextDispatch()
+
+	// Instruction fetch on line transitions; pipelined fetch hides the L1I
+	// hit latency, so only the excess stalls the frontend.
+	if il := mem.LineAddr(in.IP); il != c.lastIL {
+		c.lastIL = il
+		tr, err := c.mmu.TranslateInstr(in.IP, in.IP, d)
+		if err == nil {
+			req := &mem.Request{Addr: tr.PA, VAddr: in.IP, IP: in.IP, Kind: mem.IFetch, Core: c.id}
+			res := c.l1i.Access(req, tr.Ready)
+			if eff := res.Ready - s.cfg.L1I.Latency; eff > d {
+				c.core.FrontendStall(eff)
+				d = c.core.NextDispatch()
+			}
+		}
+	}
+
+	exec := c.core.Config().ExecLatency
+	switch in.Op {
+	case trace.OpALU:
+		c.core.Dispatch(cpu.Entry{Complete: d + exec})
+
+	case trace.OpBranch:
+		c.core.CountBranch()
+		if !c.bp.Update(uint64(in.IP), in.Taken) {
+			c.core.Mispredict(d + exec)
+		}
+		c.core.Dispatch(cpu.Entry{Complete: d + exec})
+
+	case trace.OpLoad:
+		issueAt := d
+		if in.Dep && c.lastLoadDone > issueAt {
+			// Pointer chase: the address comes from the previous load.
+			issueAt = c.lastLoadDone
+		}
+		tr, err := c.mmu.Translate(in.Addr, in.IP, issueAt)
+		if err != nil {
+			c.core.Dispatch(cpu.Entry{Complete: d + exec})
+			return
+		}
+		req := &mem.Request{
+			Addr: tr.PA, VAddr: in.Addr, IP: in.IP,
+			Kind: mem.Load, IsReplay: tr.STLBMiss, Core: c.id,
+		}
+		issue := tr.Ready
+		if tr.STLBMiss {
+			// The replay re-issues through TLB fills and the scheduler —
+			// the window ATP's prefetch overlaps.
+			issue += s.cfg.ReplayIssueDelay
+		}
+		res := c.l1d.Access(req, issue)
+		if tr.STLBMiss {
+			c.replayService.Record(res.Src)
+		}
+		c.lastLoadDone = res.Ready
+		c.core.Dispatch(cpu.Entry{
+			Complete:  res.Ready,
+			IsLoad:    true,
+			STLBMiss:  tr.STLBMiss,
+			TransDone: tr.Ready,
+		})
+
+	case trace.OpStore:
+		tr, err := c.mmu.Translate(in.Addr, in.IP, d)
+		if err != nil {
+			c.core.Dispatch(cpu.Entry{Complete: d + exec})
+			return
+		}
+		req := &mem.Request{
+			Addr: tr.PA, VAddr: in.Addr, IP: in.IP,
+			Kind: mem.Store, IsReplay: tr.STLBMiss, Core: c.id,
+		}
+		c.l1d.Access(req, tr.Ready)
+		// Stores retire once translated (store-buffer commit); the write
+		// drains in the background.
+		complete := d + exec
+		if tr.Ready > complete {
+			complete = tr.Ready
+		}
+		c.core.Dispatch(cpu.Entry{Complete: complete})
+	}
+}
+
+// phase runs every core for target instructions, interleaving cores on the
+// shared virtual clock (least-advanced core first). Cores that reach the
+// target keep running — preserving contention — until all are done; their
+// completion cycle is recorded at the target boundary.
+func (s *sim) phase(target int) {
+	for _, c := range s.cores {
+		c.phaseCount = 0
+		c.done = false
+	}
+	remaining := len(s.cores)
+	for remaining > 0 {
+		// Pick the least-advanced core.
+		var pick *coreCtx
+		var best int64
+		for _, c := range s.cores {
+			if d := c.core.NextDispatch(); pick == nil || d < best {
+				pick, best = c, d
+			}
+		}
+		s.step(pick)
+		pick.phaseCount++
+		if !pick.done && pick.phaseCount >= target {
+			pick.done = true
+			pick.doneCycle = pick.core.Cycle()
+			remaining--
+		}
+	}
+}
+
+func (s *sim) resetStats() {
+	seen := map[*cache.Cache]bool{}
+	for _, c := range s.cores {
+		c.core.ResetStats()
+		c.mmu.ResetStats()
+		c.replayService.Reset()
+		for _, ca := range []*cache.Cache{c.l1i, c.l1d, c.l2} {
+			if !seen[ca] {
+				ca.ResetStats()
+				seen[ca] = true
+			}
+		}
+	}
+	s.llc.ResetStats()
+	s.channel.ResetStats()
+}
+
+// run executes warmup + measurement and collects results.
+func (s *sim) run() *Result {
+	if s.cfg.Warmup > 0 {
+		s.phase(s.cfg.Warmup)
+	}
+	s.resetStats()
+	for _, c := range s.cores {
+		c.baseCycle = c.core.Cycle()
+	}
+	s.phase(s.cfg.Instructions)
+	return s.collect()
+}

@@ -1,0 +1,350 @@
+// Package tlb implements the translation caching structures in front of the
+// page-table walker: set-associative TLBs (DTLB, ITLB, the unified STLB)
+// with LRU replacement, and the paging-structure caches (PSCL2..PSCL5) that
+// let the walker skip upper page-table levels. The STLB can optionally track
+// recall distances for the paper's Fig. 18.
+package tlb
+
+import (
+	"fmt"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/stats"
+)
+
+// Config describes one TLB.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency int64
+	// HugeEntries sizes the fully-associative 2MB-page array (0 disables
+	// it; only used when the workload maps huge pages).
+	HugeEntries int
+	// TrackRecall enables the eviction/recall-distance histogram (Fig. 18).
+	TrackRecall bool
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type entry struct {
+	valid bool
+	vpn   mem.Addr
+	frame mem.Addr // physical frame base
+	stamp uint64
+}
+
+// TLB is a set-associative virtual-page to physical-frame cache with LRU
+// replacement.
+type TLB struct {
+	cfg   Config
+	sets  int
+	ways  int
+	ents  []entry
+	clock uint64
+	st    Stats
+
+	// 2MB-page entries: fully associative, LRU.
+	huge map[mem.Addr]*hugeEntry
+
+	// recall tracking (per set), mirroring the cache recall tracker.
+	recSeq     []uint64
+	recLast    []mem.Addr
+	recEvict   []map[mem.Addr]uint64
+	recHist    *stats.Histogram
+	recEvTotal uint64
+}
+
+type hugeEntry struct {
+	frame mem.Addr
+	stamp uint64
+}
+
+// New builds a TLB; Entries must be divisible by Ways and yield a
+// power-of-two set count.
+func New(cfg Config) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("tlb %s: bad geometry entries=%d ways=%d", cfg.Name, cfg.Entries, cfg.Ways)
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("tlb %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	t := &TLB{cfg: cfg, sets: sets, ways: cfg.Ways, ents: make([]entry, cfg.Entries)}
+	if cfg.TrackRecall {
+		t.recSeq = make([]uint64, sets)
+		t.recLast = make([]mem.Addr, sets)
+		t.recEvict = make([]map[mem.Addr]uint64, sets)
+		t.recHist = stats.NewHistogram(stats.RecallBounds...)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the configured name.
+func (t *TLB) Name() string { return t.cfg.Name }
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() int64 { return t.cfg.Latency }
+
+// Entries returns the total entry count.
+func (t *TLB) Entries() int { return t.cfg.Entries }
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.st }
+
+// ResetStats zeroes counters and the recall histogram.
+func (t *TLB) ResetStats() {
+	t.st = Stats{}
+	if t.recHist != nil {
+		t.recHist.Reset()
+	}
+	t.recEvTotal = 0
+}
+
+// RecallHistogram returns the STLB recall-distance histogram, or nil when
+// tracking is disabled.
+func (t *TLB) RecallHistogram() *stats.Histogram { return t.recHist }
+
+func (t *TLB) setOf(vpn mem.Addr) int { return int(vpn) & (t.sets - 1) }
+
+// Lookup searches for the translation of va's page (checking the 2MB array
+// first). On a hit it returns the physical frame base — 2MB-aligned for a
+// huge hit — and refreshes LRU state.
+func (t *TLB) Lookup(va mem.Addr) (frame mem.Addr, hit bool) {
+	if t.huge != nil {
+		if e, ok := t.huge[mem.HugePageNumber(va)]; ok {
+			t.st.Accesses++
+			t.clock++
+			e.stamp = t.clock
+			return e.frame, true
+		}
+	}
+	vpn := mem.PageNumber(va)
+	set := t.setOf(vpn)
+	t.st.Accesses++
+	t.observeRecall(set, vpn)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.ents[base+w]
+		if e.valid && e.vpn == vpn {
+			t.clock++
+			e.stamp = t.clock
+			return e.frame, true
+		}
+	}
+	t.st.Misses++
+	return 0, false
+}
+
+// Insert fills the translation of va's page, evicting the LRU entry of the
+// set when full.
+func (t *TLB) Insert(va, frame mem.Addr) {
+	vpn := mem.PageNumber(va)
+	set := t.setOf(vpn)
+	base := set * t.ways
+	victim := 0
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		e := &t.ents[base+w]
+		if e.valid && e.vpn == vpn {
+			// Refresh an existing entry.
+			e.frame = frame
+			t.clock++
+			e.stamp = t.clock
+			return
+		}
+		if !e.valid {
+			victim = w
+			victimStamp = 0
+		} else if e.stamp < victimStamp {
+			victim = w
+			victimStamp = e.stamp
+		}
+	}
+	e := &t.ents[base+victim]
+	if e.valid {
+		t.st.Evictions++
+		t.evictRecall(set, e.vpn)
+	}
+	t.clock++
+	*e = entry{valid: true, vpn: vpn, frame: frame, stamp: t.clock}
+}
+
+func (t *TLB) observeRecall(set int, vpn mem.Addr) {
+	if t.recHist == nil {
+		return
+	}
+	if vpn != t.recLast[set] || t.recSeq[set] == 0 {
+		t.recSeq[set]++
+		t.recLast[set] = vpn
+	}
+	if m := t.recEvict[set]; m != nil {
+		if at, ok := m[vpn]; ok {
+			t.recHist.Add(t.recSeq[set] - at)
+			delete(m, vpn)
+		}
+	}
+}
+
+func (t *TLB) evictRecall(set int, vpn mem.Addr) {
+	if t.recHist == nil {
+		return
+	}
+	if t.recEvict[set] == nil {
+		t.recEvict[set] = make(map[mem.Addr]uint64)
+	}
+	t.recEvTotal++
+	t.recEvict[set][vpn] = t.recSeq[set]
+}
+
+// RecallEvictions returns the number of tracked evictions (the denominator
+// for recall-distance fractions; entries never recalled have infinite
+// distance). Zero when tracking is disabled.
+func (t *TLB) RecallEvictions() uint64 { return t.recEvTotal }
+
+// InsertHuge fills the 2MB-page translation of va (frame is the 2MB-aligned
+// physical base), evicting the LRU huge entry when the array is full. With
+// HugeEntries == 0 the insert is dropped (the structure does not exist).
+func (t *TLB) InsertHuge(va, frame mem.Addr) {
+	if t.cfg.HugeEntries <= 0 {
+		return
+	}
+	if t.huge == nil {
+		t.huge = make(map[mem.Addr]*hugeEntry, t.cfg.HugeEntries)
+	}
+	key := mem.HugePageNumber(va)
+	if e, ok := t.huge[key]; ok {
+		e.frame = frame
+		t.clock++
+		e.stamp = t.clock
+		return
+	}
+	if len(t.huge) >= t.cfg.HugeEntries {
+		var victim mem.Addr
+		var oldest uint64 = ^uint64(0)
+		for k, e := range t.huge {
+			if e.stamp < oldest {
+				oldest = e.stamp
+				victim = k
+			}
+		}
+		delete(t.huge, victim)
+		t.st.Evictions++
+	}
+	t.clock++
+	t.huge[key] = &hugeEntry{frame: frame, stamp: t.clock}
+}
+
+// PSC is the set of paging-structure caches, one fully-associative LRU
+// array per page-table level from 2 to 5. PSCL-k maps the VPN prefix of
+// levels 5..k to the frame of the level-(k-1) table, letting the walker
+// start at level k-1.
+type PSC struct {
+	caches [mem.PTLevels + 1]*pscLevel // index 2..5 used
+	st     PSCStats
+}
+
+// PSCStats counts PSC activity per level.
+type PSCStats struct {
+	Lookups uint64
+	Hits    [mem.PTLevels + 1]uint64 // index by level
+}
+
+type pscLevel struct {
+	cap   int
+	ents  map[uint64]*pscEntry
+	clock uint64
+}
+
+type pscEntry struct {
+	frame mem.Addr
+	stamp uint64
+}
+
+// PSCSizes are the Table I capacities: index by level (PSCL2..PSCL5).
+type PSCSizes struct {
+	L2, L3, L4, L5 int
+}
+
+// DefaultPSCSizes match Table I of the paper.
+func DefaultPSCSizes() PSCSizes { return PSCSizes{L2: 32, L3: 8, L4: 4, L5: 2} }
+
+// NewPSC builds the paging-structure caches.
+func NewPSC(sizes PSCSizes) *PSC {
+	p := &PSC{}
+	for lvl, n := range map[int]int{2: sizes.L2, 3: sizes.L3, 4: sizes.L4, 5: sizes.L5} {
+		if n <= 0 {
+			n = 1
+		}
+		p.caches[lvl] = &pscLevel{cap: n, ents: make(map[uint64]*pscEntry, n)}
+	}
+	return p
+}
+
+// Stats returns a snapshot of the PSC counters.
+func (p *PSC) Stats() PSCStats { return p.st }
+
+// ResetStats zeroes the counters.
+func (p *PSC) ResetStats() { p.st = PSCStats{} }
+
+// Lookup searches all PSC levels in parallel (one-cycle, per Table I) and
+// returns the deepest hit: the smallest level k whose entry is present,
+// which lets the walker start reading at level k-1. startLevel is
+// PTLevels when nothing hits.
+func (p *PSC) Lookup(va mem.Addr) (startLevel int) {
+	p.st.Lookups++
+	for lvl := 2; lvl <= mem.PTLevels; lvl++ {
+		c := p.caches[lvl]
+		if e, ok := c.ents[mem.VPNPrefix(va, lvl)]; ok {
+			c.clock++
+			e.stamp = c.clock
+			p.st.Hits[lvl]++
+			return lvl - 1
+		}
+	}
+	return mem.PTLevels
+}
+
+// Insert fills the PSC entry for level k (the pointer to va's level-(k-1)
+// table).
+func (p *PSC) Insert(va mem.Addr, k int, frame mem.Addr) {
+	if k < 2 || k > mem.PTLevels {
+		return
+	}
+	c := p.caches[k]
+	key := mem.VPNPrefix(va, k)
+	if e, ok := c.ents[key]; ok {
+		e.frame = frame
+		c.clock++
+		e.stamp = c.clock
+		return
+	}
+	if len(c.ents) >= c.cap {
+		// Evict LRU.
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for key, e := range c.ents {
+			if e.stamp < oldest {
+				oldest = e.stamp
+				victim = key
+			}
+		}
+		delete(c.ents, victim)
+	}
+	c.clock++
+	c.ents[key] = &pscEntry{frame: frame, stamp: c.clock}
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"sync"
+
+	"atcsim/internal/mem"
+)
+
+// Graph is a CSR-encoded directed graph shared by the Ligra-like kernels,
+// mirroring how the Ligra benchmarks all run over one input graph. Vertex
+// properties are 8 bytes, edges 4 bytes, so address math below matches the
+// array layouts the real kernels would have.
+type Graph struct {
+	N       int
+	M       int
+	Offsets []int32 // len N+1
+	Edges   []int32 // len M, CSR targets
+}
+
+// Virtual addresses of graph structures for a vertex/edge index.
+func (g *Graph) offsetVA(v int) mem.Addr { return baseOffsets + mem.Addr(v)*4 }
+func (g *Graph) edgeVA(e int) mem.Addr   { return baseEdges + mem.Addr(e)*4 }
+
+// prop1VA/prop2VA address the two per-vertex property records. Graph
+// frameworks keep several properties per vertex (rank, degree, flags,
+// shadows), so a vertex record is modelled as 128 bytes: a 2M-vertex graph
+// has a 256MB property footprint per array — 65K pages, 32× the STLB reach,
+// and an 8K-line leaf-PTE working set (512KB) that cannot live in the L2.
+// This is the paper's regime: simulated-region footprints of 200–400MB.
+const propStride = 128
+
+func prop1VA(v int) mem.Addr { return baseProp1 + mem.Addr(v)*propStride }
+func prop2VA(v int) mem.Addr { return baseProp2 + mem.Addr(v)*propStride }
+
+// prop16VA models the leaner per-vertex state some kernels keep (a packed
+// 16-byte scalar pair, as Ligra's dist/priority arrays are): a smaller
+// footprint and lower STLB pressure — the knob that separates the paper's
+// Medium benchmarks from the High ones.
+func prop16VA(v int) mem.Addr { return baseProp2 + mem.Addr(v)*16 }
+
+// Default graph scale: 2^21 vertices, average degree 8 (16M edges, 64MB
+// edge array).
+const (
+	defaultLogN   = 20
+	defaultDegree = 8
+)
+
+// BuildGraph constructs a power-law random graph deterministically from the
+// seed: uniformly random sources, cube-skewed destinations (heavy head).
+func BuildGraph(logN, degree int, seed int64) *Graph {
+	n := 1 << logN
+	m := n * degree
+	r := newRNG(seed)
+
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	counts := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		s := int32(r.intn(n))
+		d := int32(r.skewed(n))
+		if s == d {
+			d = int32((int(d) + 1) % n)
+		}
+		src[i] = s
+		dst[i] = d
+		counts[s+1]++
+	}
+	// Counting sort into CSR.
+	offsets := make([]int32, n+1)
+	for v := 1; v <= n; v++ {
+		offsets[v] = offsets[v-1] + counts[v]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	edges := make([]int32, m)
+	for i := 0; i < m; i++ {
+		edges[cursor[src[i]]] = dst[i]
+		cursor[src[i]]++
+	}
+	return &Graph{N: n, M: m, Offsets: offsets, Edges: edges}
+}
+
+var (
+	sharedOnce  sync.Once
+	sharedGraph *Graph
+)
+
+// sharedLigraGraph returns the process-wide input graph used by all Ligra
+// kernels (built once; deterministic).
+func sharedLigraGraph() *Graph {
+	sharedOnce.Do(func() {
+		sharedGraph = BuildGraph(defaultLogN, defaultDegree, 0xA11CE)
+	})
+	return sharedGraph
+}
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Neighbors returns the CSR slice bounds of v's adjacency list.
+func (g *Graph) Neighbors(v int) (lo, hi int) {
+	return int(g.Offsets[v]), int(g.Offsets[v+1])
+}
