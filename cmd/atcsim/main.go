@@ -7,16 +7,29 @@
 //	atcsim -workload mcf -enhance tempo -instructions 500000
 //	atcsim -workload cc -llc-policy hawkeye -l2-prefetcher spp
 //	atcsim -workload pr -smt xalancbmk
+//
+// Observability:
+//
+//	atcsim -workload pr -trace-out trace.json            # Perfetto trace
+//	atcsim -workload pr -interval-stats hb.csv -interval 10000
+//	atcsim -workload pr -pprof-addr localhost:6060 -cpuprofile cpu.pb.gz
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"atcsim"
+	"atcsim/internal/cpu"
 	"atcsim/internal/mem"
+	"atcsim/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +47,33 @@ func main() {
 		stlb      = flag.Int("stlb", 2048, "STLB entries")
 		recall    = flag.Bool("recall", false, "track recall distances")
 		asJSON    = flag.Bool("json", false, "emit the full result as JSON")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file of sampled request lifecycles")
+		traceSample = flag.Int("trace-sample", telemetry.DefaultSampleEvery, "trace one in N memory instructions")
+		traceBuf    = flag.Int("trace-buf", telemetry.DefaultBufferEvents, "trace ring-buffer capacity in events (oldest overwritten)")
+		hbOut       = flag.String("interval-stats", "", "stream interval heartbeat stats to this file (.jsonl for JSONL, else CSV)")
+		hbEvery     = flag.Int("interval", 10_000, "heartbeat interval in measured instructions")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		fail("unexpected positional arguments %q (all options are flags; see -h)", args)
+	}
+	if *insts <= 0 {
+		fail("-instructions must be positive, got %d", *insts)
+	}
+	if *warmup < 0 {
+		fail("-warmup must not be negative, got %d", *warmup)
+	}
+	if *stlb <= 0 {
+		fail("-stlb must be positive, got %d", *stlb)
+	}
+	if *hbOut != "" && *hbEvery <= 0 {
+		fail("-interval must be positive, got %d", *hbEvery)
+	}
 
 	cfg := atcsim.DefaultConfig()
 	cfg.Instructions = *insts
@@ -62,6 +100,30 @@ func main() {
 		cfg.LLC.Policy = *llcPolicy
 	}
 
+	// Profiling and live-introspection endpoints.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	// Telemetry hub: each facility only exists when requested, so the
+	// default run carries a nil hub and a pristine hot path.
+	hub, hbFile := buildHub(*traceOut, *traceBuf, *traceSample, *hbOut, *hbEvery, *pprofAddr != "")
+	cfg.Telemetry = hub
+
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, hub)
+	}
+
 	traceLen := *insts + *warmup
 	t0, err := atcsim.NewTrace(*workload, traceLen, *seed)
 	if err != nil {
@@ -85,6 +147,20 @@ func main() {
 		}
 	}
 
+	flushTelemetry(hub, hbFile, *traceOut)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("memprofile: %v", err)
+		}
+		f.Close()
+	}
+
 	if *asJSON {
 		out, err := atcsim.MarshalResult(res)
 		if err != nil {
@@ -96,6 +172,82 @@ func main() {
 	report(res)
 }
 
+// buildHub assembles the telemetry hub from the observability flags; it
+// returns nil when nothing was requested. The returned file is the open
+// heartbeat stream (closed by flushTelemetry).
+func buildHub(traceOut string, traceBuf, traceSample int, hbOut string, hbEvery int, progress bool) (*telemetry.Hub, *os.File) {
+	if traceOut == "" && hbOut == "" && !progress {
+		return nil, nil
+	}
+	hub := &telemetry.Hub{}
+	if traceOut != "" {
+		hub.Tracer = telemetry.NewTracer(traceBuf, traceSample)
+	}
+	var hbFile *os.File
+	if hbOut != "" {
+		f, err := os.Create(hbOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		format := telemetry.FormatCSV
+		if strings.HasSuffix(hbOut, ".jsonl") || strings.HasSuffix(hbOut, ".json") {
+			format = telemetry.FormatJSONL
+		}
+		hub.Heartbeat = telemetry.NewHeartbeat(f, format, hbEvery)
+		hbFile = f
+	}
+	if progress {
+		hub.Progress = &telemetry.Progress{}
+	}
+	return hub, hbFile
+}
+
+// servePprof exposes net/http/pprof, expvar and simulation progress on addr.
+func servePprof(addr string, hub *telemetry.Hub) {
+	expvar.Publish("sim_instructions_done", expvar.Func(func() any {
+		return hub.ProgressOrNil().Done()
+	}))
+	expvar.Publish("sim_instructions_total", expvar.Func(func() any {
+		return hub.ProgressOrNil().Total()
+	}))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "atcsim: pprof server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "atcsim: pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+}
+
+// flushTelemetry writes the trace file and closes the heartbeat stream.
+func flushTelemetry(hub *telemetry.Hub, hbFile *os.File, traceOut string) {
+	if hub == nil {
+		return
+	}
+	if tr := hub.Tracer; tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fail("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "atcsim: wrote %d trace events (%d sampled requests, %d dropped) to %s\n",
+			len(tr.Events()), tr.Sampled(), tr.Dropped(), traceOut)
+	}
+	if hb := hub.Heartbeat; hb != nil && hbFile != nil {
+		if err := hb.Err(); err != nil {
+			fail("interval-stats: %v", err)
+		}
+		if err := hbFile.Close(); err != nil {
+			fail("interval-stats: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "atcsim: wrote %d heartbeat rows to %s\n", len(hb.Rows()), hbFile.Name())
+	}
+}
+
 func report(res *atcsim.Result) {
 	for i := range res.Cores {
 		c := &res.Cores[i]
@@ -104,7 +256,9 @@ func report(res *atcsim.Result) {
 			c.STLBMPKI(), c.MMU.STLBMisses,
 			1000*float64(c.MMU.DTLBMisses)/float64(c.Instructions))
 		fmt.Printf("  ROB head stalls: translation %d, replay %d, non-replay %d cycles\n",
-			c.CPU.StallCycles[0], c.CPU.StallCycles[1], c.CPU.StallCycles[2])
+			c.CPU.StallCycles[cpu.StallTranslation],
+			c.CPU.StallCycles[cpu.StallReplay],
+			c.CPU.StallCycles[cpu.StallNonReplay])
 		ls := &c.Walker.LeafService
 		fmt.Printf("  leaf translations serviced: L1D %.1f%%  L2C %.1f%%  LLC %.1f%%  DRAM %.1f%%\n",
 			100*ls.Fraction(mem.LvlL1D), 100*ls.Fraction(mem.LvlL2),

@@ -24,8 +24,14 @@ func main() {
 		scale    = flag.String("scale", "full", "experiment scale: full or quick")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
 		csvDir   = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+		progress = flag.Bool("progress", false, "report each simulation run on stderr as the sweep progresses")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		fmt.Fprintf(os.Stderr, "figures: unexpected positional arguments %q (all options are flags; see -h)\n", args)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -43,16 +49,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	runner := experiments.NewRunner(sc)
+	if *progress {
+		runner.OnRun = func(key, name string, runs int) {
+			fmt.Fprintf(os.Stderr, "figures: run %4d  %-24s %s\n", runs, key, name)
+		}
+	}
+
 	var reports []*experiments.Report
 	if *id != "" {
-		rep, err := experiments.ByID(sc, *id)
+		rep, err := experiments.ByIDWith(runner, *id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
 		reports = []*experiments.Report{rep}
 	} else {
-		reports = experiments.All(sc)
+		reports = experiments.AllWith(runner)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "figures: %d simulations complete\n", runner.Runs())
 	}
 
 	if *csvDir != "" {

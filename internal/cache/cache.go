@@ -16,6 +16,7 @@ import (
 	"atcsim/internal/mem"
 	"atcsim/internal/repl"
 	"atcsim/internal/stats"
+	"atcsim/internal/telemetry"
 )
 
 // Lower is the next level in the hierarchy (another Cache or a DRAM
@@ -133,6 +134,7 @@ type Cache struct {
 
 	st     Stats
 	recall *recallTracker
+	tr     *telemetry.Tracer
 }
 
 // New builds a cache level on top of lower. It returns an error for
@@ -203,6 +205,18 @@ func (c *Cache) AttachPrefetcher(p Prefetcher) { c.pf = p }
 
 // Prefetcher returns the attached prefetcher, or nil.
 func (c *Cache) Prefetcher() Prefetcher { return c.pf }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables): lookups that
+// belong to a sampled request become spans on the cache lane.
+func (c *Cache) SetTracer(t *telemetry.Tracer) { c.tr = t }
+
+// traceAccess emits one lookup span for a sampled request.
+func (c *Cache) traceAccess(req *mem.Request, start, end int64, src mem.Level, outcome string) {
+	c.tr.SpanOn(req.Core, "cache", c.cfg.Name, telemetry.LaneCache, start, end,
+		telemetry.SArg("class", req.Class().String()),
+		telemetry.SArg("outcome", outcome),
+		telemetry.SArg("src", src.String()))
+}
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.st }
@@ -335,11 +349,17 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 			// MSHR merge with the outstanding fill.
 			c.st.Merges++
 			c.st.LatencySum[cl] += uint64(b.fillAt - cycle)
+			if c.tr.Active() {
+				c.traceAccess(req, cycle, b.fillAt, b.fillSrc, "merge")
+			}
 			return Result{Ready: b.fillAt, Src: b.fillSrc}
 		}
 		b.reused = true
 		ready := cycle + c.cfg.Latency
 		c.st.LatencySum[cl] += uint64(ready - cycle)
+		if c.tr.Active() {
+			c.traceAccess(req, cycle, ready, c.cfg.Level, "hit")
+		}
 		c.maybeATP(req, ready)
 		c.maybeTrain(req, true, cycle)
 		return Result{Ready: ready, Src: c.cfg.Level}
@@ -375,6 +395,9 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 		// Limit study: respond with the hit latency; the real miss has
 		// still consumed bandwidth below (paper's methodology for Fig. 2).
 		c.st.LatencySum[cl] += uint64(c.cfg.Latency)
+		if c.tr.Active() {
+			c.traceAccess(req, cycle, cycle+c.cfg.Latency, c.cfg.Level, "ideal")
+		}
 		return Result{Ready: cycle + c.cfg.Latency, Src: c.cfg.Level}
 	}
 	ready := res.Ready
@@ -382,6 +405,9 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 		ready = m
 	}
 	c.st.LatencySum[cl] += uint64(ready - cycle)
+	if c.tr.Active() {
+		c.traceAccess(req, cycle, ready, res.Src, "miss")
+	}
 	return Result{Ready: ready, Src: res.Src}
 }
 
@@ -490,6 +516,16 @@ func (c *Cache) Prefetch(line mem.Addr, cycle int64, distant bool) int64 {
 	c.st.Record(mem.ClassPrefetch, true)
 	req := &mem.Request{Addr: line << mem.LineBits, Kind: mem.Prefetch}
 	res := c.lower.Access(req, cycle+c.cfg.Latency)
+	if c.tr.Active() {
+		// ATP/TEMPO prefetches fired inside a sampled request's window show
+		// up on that request's cache lane.
+		var kind int64
+		if distant {
+			kind = 1
+		}
+		c.tr.Span("cache", c.cfg.Name+" prefetch", telemetry.LaneCache, cycle, res.Ready,
+			telemetry.IArg("line", int64(line)), telemetry.IArg("distant", kind))
+	}
 	a := access(req)
 	a.Distant = distant
 	c.fillWith(set, line, a, req, cycle, res)

@@ -15,7 +15,16 @@ import (
 	"fmt"
 
 	"atcsim/internal/stats"
+	"atcsim/internal/telemetry"
 )
+
+// The telemetry snapshot mirrors the stall-class array without importing
+// this package; keep the two sizes in lockstep.
+var _ = [telemetry.NumStallKinds]uint64(Stats{}.StallCycles)
+
+// stallSpanMin is the shortest ROB-head stall worth a trace span; shorter
+// stalls are ubiquitous and would flood the ring buffer.
+const stallSpanMin = 16
 
 // StallClass attributes ROB-head stall cycles.
 type StallClass uint8
@@ -122,6 +131,9 @@ type Core struct {
 	retireInSlot   int
 
 	st Stats
+
+	tr     *telemetry.Tracer
+	trCore int
 }
 
 // New creates a core; zero-valued config fields fall back to defaults.
@@ -159,6 +171,14 @@ func MustNew(cfg Config) *Core {
 
 // Config returns the effective configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables). The core
+// emits unsampled ROB-head stall spans of at least stallSpanMin cycles on
+// the given core's stall lane.
+func (c *Core) SetTracer(t *telemetry.Tracer, core int) {
+	c.tr = t
+	c.trCore = core
+}
 
 // Stats returns a snapshot of the counters (histograms are shared).
 func (c *Core) Stats() Stats { return c.st }
@@ -275,11 +295,25 @@ func (c *Core) retireOne() {
 			if replayPart > 0 {
 				c.st.ReplayStall.Add(uint64(replayPart))
 			}
+			if c.tr.Enabled() {
+				if transPart >= stallSpanMin {
+					c.tr.StallSpan(c.trCore, StallTranslation.String(), c.retireCycle, c.retireCycle+transPart)
+				}
+				if replayPart >= stallSpanMin {
+					c.tr.StallSpan(c.trCore, StallReplay.String(), e.Complete-replayPart, e.Complete)
+				}
+			}
 		case e.IsLoad:
 			c.st.StallCycles[StallNonReplay] += uint64(stall)
 			c.st.NonReplayStall.Add(uint64(stall))
+			if c.tr.Enabled() && stall >= stallSpanMin {
+				c.tr.StallSpan(c.trCore, StallNonReplay.String(), c.retireCycle, e.Complete)
+			}
 		default:
 			c.st.StallCycles[StallOther] += uint64(stall)
+			if c.tr.Enabled() && stall >= stallSpanMin {
+				c.tr.StallSpan(c.trCore, StallOther.String(), c.retireCycle, e.Complete)
+			}
 		}
 		c.retireCycle = e.Complete
 		c.retireInSlot = 0

@@ -20,6 +20,7 @@ package dram
 
 import (
 	"atcsim/internal/mem"
+	"atcsim/internal/telemetry"
 )
 
 // Config holds the channel timing and geometry parameters in CPU cycles
@@ -138,6 +139,7 @@ type Channel struct {
 	banks []bank
 	bus   *slotter
 	stats Stats
+	tr    *telemetry.Tracer
 
 	// TEMPO, when non-nil, is invoked for every leaf-translation read that
 	// carries a replay target; the callback receives the replay line address
@@ -166,6 +168,10 @@ func New(cfg Config) *Channel {
 	return ch
 }
 
+// SetTracer attaches a request-lifecycle tracer (nil disables): bank/bus
+// service of sampled requests becomes spans on the DRAM lane.
+func (c *Channel) SetTracer(t *telemetry.Tracer) { c.tr = t }
+
 // Stats returns a copy of the accumulated statistics.
 func (c *Channel) Stats() Stats { return c.stats }
 
@@ -191,7 +197,7 @@ func (c *Channel) rowOf(line mem.Addr) int64 {
 // cycle and returns the cycle the data has been delivered. It also fires
 // the TEMPO hook for leaf translations when enabled.
 func (c *Channel) Read(req *mem.Request, cycle int64) int64 {
-	done := c.access(mem.LineAddr(req.Addr), cycle)
+	done := c.access(mem.LineAddr(req.Addr), cycle, req.Core)
 	c.stats.Reads++
 	lat := uint64(done - cycle)
 	c.stats.ReadLatencySum += lat
@@ -200,6 +206,10 @@ func (c *Channel) Read(req *mem.Request, cycle int64) int64 {
 	}
 	if c.TEMPO != nil && req.IsLeaf() && req.ReplayTarget != 0 {
 		c.stats.TEMPOIssued++
+		if c.tr.Active() {
+			c.tr.SpanOn(req.Core, "dram", "tempo-issue", telemetry.LaneDRAM, done, done,
+				telemetry.IArg("line", int64(mem.LineAddr(req.ReplayTarget))))
+		}
 		c.TEMPO(mem.LineAddr(req.ReplayTarget), done)
 	}
 	return done
@@ -208,33 +218,45 @@ func (c *Channel) Read(req *mem.Request, cycle int64) int64 {
 // Write services a writeback for the line containing addr. Writes are
 // posted: the caller does not wait, but bank and bus capacity is consumed.
 func (c *Channel) Write(addr mem.Addr, cycle int64) {
-	c.access(mem.LineAddr(addr), cycle)
+	c.access(mem.LineAddr(addr), cycle, 0)
 	c.stats.Writes++
 }
 
-func (c *Channel) access(line mem.Addr, cycle int64) int64 {
-	b := &c.banks[c.bankOf(line)]
+func (c *Channel) access(line mem.Addr, cycle int64, core int) int64 {
+	bankIdx := c.bankOf(line)
+	b := &c.banks[bankIdx]
 	row := c.rowOf(line)
 
 	start := b.service.book(cycle + c.cfg.TController)
 
 	var lat int64
+	var outcome string
 	switch {
 	case b.row == row:
 		lat = c.cfg.TRowHit
 		c.stats.RowHits++
+		outcome = "row-hit"
 	case b.row == -1:
 		lat = c.cfg.TRowClosed
 		c.stats.RowClosed++
+		outcome = "row-closed"
 	default:
 		lat = c.cfg.TRowMiss
 		c.stats.RowMisses++
+		outcome = "row-miss"
 	}
 	b.row = row
 
 	dataAt := c.bus.book(start + lat)
 	c.stats.BusyCycles += uint64(c.cfg.TBurst)
-	return dataAt + c.cfg.TBurst
+	done := dataAt + c.cfg.TBurst
+	if c.tr.Active() {
+		c.tr.SpanOn(core, "dram", "bank", telemetry.LaneDRAM, cycle, done,
+			telemetry.IArg("bank", int64(bankIdx)),
+			telemetry.SArg("row", outcome),
+			telemetry.IArg("bus_slot", dataAt))
+	}
+	return done
 }
 
 // MinLatency returns the best-case read latency (row hit, idle bus), useful
@@ -293,6 +315,13 @@ func (ctl *Controller) Write(addr mem.Addr, cycle int64) {
 func (ctl *Controller) SetTEMPO(f func(line mem.Addr, cycle int64)) {
 	for _, ch := range ctl.channels {
 		ch.TEMPO = f
+	}
+}
+
+// SetTracer attaches a request-lifecycle tracer to every channel.
+func (ctl *Controller) SetTracer(t *telemetry.Tracer) {
+	for _, ch := range ctl.channels {
+		ch.SetTracer(t)
 	}
 }
 

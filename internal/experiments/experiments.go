@@ -114,6 +114,13 @@ type Runner struct {
 	sc      Scale
 	traces  map[string]*trace.Trace
 	results map[string]*system.Result
+	runs    int
+
+	// OnRun, when non-nil, is invoked after every simulation the runner
+	// actually performs (memoization hits are silent) with the memoization
+	// key, the benchmark name and the number of simulations so far — the
+	// live-progress hook for long sweeps (cmd/figures -progress).
+	OnRun func(key, name string, runs int)
 }
 
 // NewRunner creates a runner at the given scale.
@@ -127,6 +134,17 @@ func NewRunner(sc Scale) *Runner {
 
 // Scale returns the runner's scale.
 func (r *Runner) Scale() Scale { return r.sc }
+
+// Runs returns the number of simulations performed so far (excluding
+// memoization hits).
+func (r *Runner) Runs() int { return r.runs }
+
+func (r *Runner) ran(key, name string) {
+	r.runs++
+	if r.OnRun != nil {
+		r.OnRun(key, name, r.runs)
+	}
+}
 
 // Trace returns the (cached) synthesized trace for a benchmark at the
 // scale's primary seed.
@@ -172,6 +190,7 @@ func (r *Runner) SeededSpeedups(name string) []float64 {
 				panic(err)
 			}
 			r.results[ck] = res
+			r.ran(ck, name)
 			return res
 		}
 		base := run("baseline", nil)
@@ -205,6 +224,7 @@ func (r *Runner) Run(key, name string, mod func(*system.Config)) *system.Result 
 		panic(fmt.Sprintf("experiments: run %s/%s: %v", key, name, err))
 	}
 	r.results[ck] = res
+	r.ran(key, name)
 	return res
 }
 
@@ -219,8 +239,11 @@ func (r *Runner) Enhanced(name string, e system.Enhancement) *system.Result {
 }
 
 // All returns every experiment report at the given scale, in paper order.
-func All(sc Scale) []*Report {
-	r := NewRunner(sc)
+func All(sc Scale) []*Report { return AllWith(NewRunner(sc)) }
+
+// AllWith is All on a caller-provided runner, so long sweeps can install a
+// progress hook (Runner.OnRun) or share memoized results.
+func AllWith(r *Runner) []*Report {
 	return []*Report{
 		Fig1(r), Fig2(r), Fig3(r), Fig4(r), Fig5(r), Fig6(r), Fig7(r), Fig8(r),
 		Fig10(r), Fig12(r), Fig14(r), Fig15(r), Fig16(r), Fig17(r), Fig18(r),
@@ -233,8 +256,10 @@ func All(sc Scale) []*Report {
 
 // ByID returns a single experiment by its identifier ("fig1".."fig21",
 // "table1", "table2", "multicore").
-func ByID(sc Scale, id string) (*Report, error) {
-	r := NewRunner(sc)
+func ByID(sc Scale, id string) (*Report, error) { return ByIDWith(NewRunner(sc), id) }
+
+// ByIDWith is ByID on a caller-provided runner.
+func ByIDWith(r *Runner, id string) (*Report, error) {
 	f, ok := map[string]func(*Runner) *Report{
 		"fig1": Fig1, "fig2": Fig2, "fig3": Fig3, "fig4": Fig4, "fig5": Fig5,
 		"fig6": Fig6, "fig7": Fig7, "fig8": Fig8, "fig10": Fig10, "fig12": Fig12,

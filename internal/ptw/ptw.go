@@ -16,6 +16,7 @@ import (
 	"atcsim/internal/cache"
 	"atcsim/internal/mem"
 	"atcsim/internal/stats"
+	"atcsim/internal/telemetry"
 	"atcsim/internal/tlb"
 	"atcsim/internal/vm"
 )
@@ -46,6 +47,7 @@ type Walker struct {
 	core    int
 	slots   []int64 // completion times of in-flight walks
 	maxSlot int
+	tr      *telemetry.Tracer
 }
 
 // NewWalker wires a walker to a page table, paging-structure caches and the
@@ -93,6 +95,10 @@ func (w *Walker) admit(cycle int64) int64 {
 	return start
 }
 
+// SetTracer attaches a request-lifecycle tracer (nil disables): each PTE
+// read of a sampled walk becomes a span on the PTW lane.
+func (w *Walker) SetTracer(t *telemetry.Tracer) { w.tr = t }
+
 // Stats returns a snapshot of walker counters.
 func (w *Walker) Stats() WalkerStats { return w.st }
 
@@ -122,6 +128,10 @@ func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
 	cycle = w.admit(cycle)
 	start := w.psc.Lookup(va)
 	cur := cycle + 1 // one-cycle parallel PSC lookup (Table I)
+	if w.tr.Active() {
+		w.tr.Instant("ptw", "psc", telemetry.LanePTW,
+			telemetry.IArg("start_level", int64(start)))
+	}
 
 	steps, pa, err := w.pt.Walk(va, start)
 	if err != nil {
@@ -143,8 +153,13 @@ func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
 			// identifies the replay line (precomputed here — see DESIGN.md).
 			req.ReplayTarget = mem.LineBase(pa)
 		}
+		stepStart := cur
 		res := w.path.Access(req, cur)
 		cur = res.Ready
+		if w.tr.Active() {
+			w.tr.SpanOn(w.core, "ptw", walkStepName(s.Level, s.Leaf), telemetry.LanePTW,
+				stepStart, res.Ready, telemetry.SArg("src", res.Src.String()))
+		}
 		w.st.PTEReads++
 		w.st.StepsPerLevel[s.Level]++
 		if s.Leaf {
@@ -161,6 +176,28 @@ func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
 		PA: pa, Ready: cur, LeafSrc: leafSrc, Steps: len(steps),
 		Huge: w.pt.HugePages(),
 	}, nil
+}
+
+// walkStepName labels one PTE read for the tracer; static strings so the
+// enabled path does not format.
+func walkStepName(level int, leaf bool) string {
+	if leaf {
+		if level == 2 {
+			return "walk L2 (huge leaf)"
+		}
+		return "walk L1 (leaf)"
+	}
+	switch level {
+	case 2:
+		return "walk L2"
+	case 3:
+		return "walk L3"
+	case 4:
+		return "walk L4"
+	case 5:
+		return "walk L5"
+	}
+	return "walk"
 }
 
 // MMUStats aggregates per-core translation activity.
@@ -181,6 +218,7 @@ type MMU struct {
 	STLB *tlb.TLB
 	W    *Walker
 	st   MMUStats
+	tr   *telemetry.Tracer
 }
 
 // NewMMU assembles an MMU.
@@ -192,6 +230,18 @@ func NewMMU(dtlb, itlb, stlb *tlb.TLB, w *Walker) (*MMU, error) {
 		itlb = dtlb
 	}
 	return &MMU{DTLB: dtlb, ITLB: itlb, STLB: stlb, W: w}, nil
+}
+
+// SetTracer attaches a request-lifecycle tracer to the MMU and propagates it
+// to the TLBs and the walker (nil disables).
+func (m *MMU) SetTracer(t *telemetry.Tracer) {
+	m.tr = t
+	m.DTLB.SetTracer(t)
+	if m.ITLB != m.DTLB {
+		m.ITLB.SetTracer(t)
+	}
+	m.STLB.SetTracer(t)
+	m.W.SetTracer(t)
 }
 
 // Stats returns a snapshot of the MMU counters.
@@ -235,19 +285,41 @@ func (m *MMU) translate(l1 *tlb.TLB, va, ip mem.Addr, cycle int64, acc, miss *ui
 	*acc++
 	cur := cycle + l1.Latency()
 	if frame, hit := l1.Lookup(va); hit {
+		if m.tr.Active() {
+			m.tr.Span("mmu", l1.Name(), telemetry.LaneMMU, cycle, cur,
+				telemetry.SArg("result", "hit"))
+		}
 		return Translation{PA: frame | mem.PageOffset(va), Ready: cur}, nil
 	}
 	*miss++
 	m.st.STLBAccesses++
+	if m.tr.Active() {
+		m.tr.Span("mmu", l1.Name(), telemetry.LaneMMU, cycle, cur,
+			telemetry.SArg("result", "miss"))
+	}
+	stlbStart := cur
 	cur += m.STLB.Latency()
 	if frame, hit := m.STLB.Lookup(va); hit {
+		if m.tr.Active() {
+			m.tr.Span("mmu", m.STLB.Name(), telemetry.LaneMMU, stlbStart, cur,
+				telemetry.SArg("result", "hit"))
+		}
 		l1.Insert(va, frame)
 		return Translation{PA: frame | mem.PageOffset(va), Ready: cur}, nil
 	}
 	m.st.STLBMisses++
+	if m.tr.Active() {
+		m.tr.Span("mmu", m.STLB.Name(), telemetry.LaneMMU, stlbStart, cur,
+			telemetry.SArg("result", "miss"))
+	}
 	res, err := m.W.Walk(va, ip, cur)
 	if err != nil {
 		return Translation{}, err
+	}
+	if m.tr.Active() {
+		m.tr.Span("mmu", "page-walk", telemetry.LaneMMU, cur, res.Ready,
+			telemetry.IArg("steps", int64(res.Steps)),
+			telemetry.SArg("leaf_src", res.LeafSrc.String()))
 	}
 	if res.Huge {
 		frame := mem.HugePageBase(res.PA)

@@ -11,6 +11,7 @@ import (
 	"atcsim/internal/cpu"
 	"atcsim/internal/dram"
 	"atcsim/internal/mem"
+	"atcsim/internal/telemetry"
 	"atcsim/internal/tlb"
 )
 
@@ -113,6 +114,12 @@ type Config struct {
 	// disappears — the future-work scenario that bounds the paper's
 	// technique.
 	HugePages bool
+
+	// Telemetry, when non-nil, attaches the observability layer (sampled
+	// request-lifecycle tracer, interval heartbeat, progress counters) to
+	// the run. Telemetry is a pure observer: simulated timing is
+	// bit-identical with or without it. Excluded from JSON results.
+	Telemetry *telemetry.Hub `json:"-"`
 }
 
 // DefaultConfig reproduces Table I: a Sunny-Cove-like core with 48KB L1D,

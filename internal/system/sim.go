@@ -10,6 +10,7 @@ import (
 	"atcsim/internal/prefetch"
 	"atcsim/internal/ptw"
 	"atcsim/internal/stats"
+	"atcsim/internal/telemetry"
 	"atcsim/internal/tlb"
 	"atcsim/internal/trace"
 	"atcsim/internal/vm"
@@ -46,6 +47,16 @@ type sim struct {
 	l2s     []*cache.Cache
 	llc     *cache.Cache
 	channel *dram.Controller
+
+	// Observability (all nil/false when telemetry is disabled; the phase
+	// loop then pays one predictable branch per instruction).
+	tracer    *telemetry.Tracer
+	hb        *telemetry.Heartbeat
+	hbEvery   uint64
+	progress  *telemetry.Progress
+	measuring bool
+	stepped   uint64 // measured instructions stepped (all cores)
+	ticked    uint64 // stepped count at the last heartbeat tick
 }
 
 // Run simulates a single-core machine over one trace.
@@ -250,6 +261,24 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 			lastIL: ^mem.Addr(0),
 		})
 	}
+
+	// Observability wiring: hooks are nil-safe, so only the enabled
+	// facilities cost anything.
+	s.tracer = cfg.Telemetry.TracerOrNil()
+	s.hb = cfg.Telemetry.HeartbeatOrNil()
+	s.hbEvery = uint64(s.hb.Every())
+	s.progress = cfg.Telemetry.ProgressOrNil()
+	if s.tracer != nil {
+		s.llc.SetTracer(s.tracer)
+		s.channel.SetTracer(s.tracer)
+		for _, c := range s.cores {
+			c.core.SetTracer(s.tracer, c.id)
+			c.mmu.SetTracer(s.tracer)
+			c.l1i.SetTracer(s.tracer)
+			c.l1d.SetTracer(s.tracer)
+			c.l2.SetTracer(s.tracer)
+		}
+	}
 	return s, nil
 }
 
@@ -296,8 +325,10 @@ func (s *sim) step(c *coreCtx) {
 			// Pointer chase: the address comes from the previous load.
 			issueAt = c.lastLoadDone
 		}
+		s.tracer.BeginSample(c.id, "load", in.IP, in.Addr, issueAt)
 		tr, err := c.mmu.Translate(in.Addr, in.IP, issueAt)
 		if err != nil {
+			s.tracer.EndSample("load", d+exec)
 			c.core.Dispatch(cpu.Entry{Complete: d + exec})
 			return
 		}
@@ -310,11 +341,15 @@ func (s *sim) step(c *coreCtx) {
 			// The replay re-issues through TLB fills and the scheduler —
 			// the window ATP's prefetch overlaps.
 			issue += s.cfg.ReplayIssueDelay
+			if s.tracer.Active() {
+				s.tracer.Span("request", "replay-issue", telemetry.LaneRequest, tr.Ready, issue)
+			}
 		}
 		res := c.l1d.Access(req, issue)
 		if tr.STLBMiss {
 			c.replayService.Record(res.Src)
 		}
+		s.tracer.EndSample("load", res.Ready)
 		c.lastLoadDone = res.Ready
 		c.core.Dispatch(cpu.Entry{
 			Complete:  res.Ready,
@@ -324,8 +359,10 @@ func (s *sim) step(c *coreCtx) {
 		})
 
 	case trace.OpStore:
+		s.tracer.BeginSample(c.id, "store", in.IP, in.Addr, d)
 		tr, err := c.mmu.Translate(in.Addr, in.IP, d)
 		if err != nil {
+			s.tracer.EndSample("store", d+exec)
 			c.core.Dispatch(cpu.Entry{Complete: d + exec})
 			return
 		}
@@ -340,6 +377,7 @@ func (s *sim) step(c *coreCtx) {
 		if tr.Ready > complete {
 			complete = tr.Ready
 		}
+		s.tracer.EndSample("store", complete)
 		c.core.Dispatch(cpu.Entry{Complete: complete})
 	}
 }
@@ -365,6 +403,15 @@ func (s *sim) phase(target int) {
 		}
 		s.step(pick)
 		pick.phaseCount++
+		if s.measuring {
+			s.stepped++
+			if s.hb != nil && s.stepped%s.hbEvery == 0 {
+				s.heartbeatTick()
+			}
+			if s.progress != nil && s.stepped&8191 == 0 {
+				s.progress.Set(s.stepped)
+			}
+		}
 		if !pick.done && pick.phaseCount >= target {
 			pick.done = true
 			pick.doneCycle = pick.core.Cycle()
@@ -390,6 +437,57 @@ func (s *sim) resetStats() {
 	s.channel.ResetStats()
 }
 
+// heartbeatTick feeds the current cumulative snapshot to the heartbeat
+// engine.
+func (s *sim) heartbeatTick() {
+	s.hb.Tick(s.snapshot())
+	s.ticked = s.stepped
+}
+
+// snapshot collects the cumulative counters the heartbeat engine differences
+// into interval rows. All fields count from the start of the measured phase.
+func (s *sim) snapshot() telemetry.Snapshot {
+	var sn telemetry.Snapshot
+	for _, c := range s.cores {
+		if cyc := c.core.Cycle() - c.baseCycle; cyc > sn.Cycle {
+			sn.Cycle = cyc
+		}
+		cst := c.core.Stats()
+		sn.Instructions += cst.Instructions
+		for k := 0; k < telemetry.NumStallKinds; k++ {
+			sn.Stalls[k] += cst.StallCycles[k]
+		}
+		mst := c.mmu.Stats()
+		sn.STLBAccesses += mst.STLBAccesses
+		sn.STLBMisses += mst.STLBMisses
+		wst := c.mmu.W.Stats()
+		sn.LeafReads += wst.LeafService.Total()
+		sn.LeafDRAM += wst.LeafService.Count[mem.LvlDRAM]
+	}
+	for _, l1d := range s.l1ds {
+		st := l1d.Stats()
+		for cl := mem.Class(0); cl < mem.NumClasses; cl++ {
+			sn.L1DMisses[cl] += st.Miss[cl]
+		}
+	}
+	for _, l2 := range s.l2s {
+		st := l2.Stats()
+		for cl := mem.Class(0); cl < mem.NumClasses; cl++ {
+			sn.L2Misses[cl] += st.Miss[cl]
+		}
+	}
+	llc := s.llc.Stats()
+	for cl := mem.Class(0); cl < mem.NumClasses; cl++ {
+		sn.LLCMisses[cl] = llc.Miss[cl]
+	}
+	d := s.channel.Stats()
+	sn.DRAMReads = d.Reads
+	sn.DRAMRowHits = d.RowHits
+	sn.DRAMRowClosed = d.RowClosed
+	sn.DRAMRowMisses = d.RowMisses
+	return sn
+}
+
 // run executes warmup + measurement and collects results.
 func (s *sim) run() *Result {
 	if s.cfg.Warmup > 0 {
@@ -399,6 +497,24 @@ func (s *sim) run() *Result {
 	for _, c := range s.cores {
 		c.baseCycle = c.core.Cycle()
 	}
+	if s.progress != nil {
+		s.progress.SetTotal(uint64(s.cfg.Instructions) * uint64(len(s.cores)))
+	}
+	if s.hb != nil {
+		// Measurement-start baseline: the first interval rows difference
+		// against freshly reset counters.
+		s.hb.Begin(s.snapshot())
+	}
+	s.measuring = true
 	s.phase(s.cfg.Instructions)
+	s.measuring = false
+	if s.hb != nil && s.stepped > s.ticked {
+		// Flush the final partial interval so the rows' instruction counts
+		// sum to the measured total.
+		s.heartbeatTick()
+	}
+	if s.progress != nil {
+		s.progress.Set(s.stepped)
+	}
 	return s.collect()
 }

@@ -1,0 +1,140 @@
+package system
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"atcsim/internal/telemetry"
+)
+
+// Telemetry must be a pure observer: attaching the full hub (tracer +
+// heartbeat + progress) must leave every simulated number bit-identical to
+// the bare run.
+func TestTelemetryDoesNotPerturbTiming(t *testing.T) {
+	cfg := quickCfg()
+	bare, err := Run(cfg, buildTrace(t, "mcf", 90_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := cfg
+	obs.Telemetry = &telemetry.Hub{
+		Tracer:    telemetry.NewTracer(1<<12, 8),
+		Heartbeat: telemetry.NewHeartbeat(nil, telemetry.FormatCSV, 10_000),
+		Progress:  &telemetry.Progress{},
+	}
+	traced, err := Run(obs, buildTrace(t, "mcf", 90_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bare.Cores[0].Cycles != traced.Cores[0].Cycles {
+		t.Errorf("cycles differ with telemetry: %d vs %d",
+			bare.Cores[0].Cycles, traced.Cores[0].Cycles)
+	}
+	if bare.IPC() != traced.IPC() {
+		t.Errorf("IPC differs with telemetry: %v vs %v", bare.IPC(), traced.IPC())
+	}
+	if bare.LLC.TotalMiss() != traced.LLC.TotalMiss() {
+		t.Errorf("LLC misses differ with telemetry: %d vs %d",
+			bare.LLC.TotalMiss(), traced.LLC.TotalMiss())
+	}
+	if bare.Cores[0].MMU.STLBMisses != traced.Cores[0].MMU.STLBMisses {
+		t.Error("STLB misses differ with telemetry")
+	}
+	if bare.DRAM.Reads != traced.DRAM.Reads || bare.DRAM.RowHits != traced.DRAM.RowHits {
+		t.Error("DRAM activity differs with telemetry")
+	}
+
+	// The observer actually observed something.
+	if obs.Telemetry.Tracer.Sampled() == 0 || len(obs.Telemetry.Tracer.Events()) == 0 {
+		t.Error("tracer recorded nothing")
+	}
+	if got := obs.Telemetry.Progress.Done(); got != uint64(cfg.Instructions) {
+		t.Errorf("progress done = %d, want %d", got, cfg.Instructions)
+	}
+}
+
+// Heartbeat rows must partition the measured phase: instruction counts sum
+// to the configured total and end cycles match the final result.
+func TestHeartbeatReconcilesWithResult(t *testing.T) {
+	cfg := quickCfg() // 60_000 measured instructions
+	hb := telemetry.NewHeartbeat(nil, telemetry.FormatCSV, 10_000)
+	cfg.Telemetry = &telemetry.Hub{Heartbeat: hb}
+	res, err := Run(cfg, buildTrace(t, "pr", 90_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := hb.Rows()
+	if want := cfg.Instructions / hb.Every(); len(rows) != want {
+		t.Fatalf("got %d heartbeat rows, want %d", len(rows), want)
+	}
+	var insts uint64
+	var stalls uint64
+	for i, r := range rows {
+		if r.Index != i {
+			t.Errorf("row %d has index %d", i, r.Index)
+		}
+		if r.Cycles <= 0 || r.IPC <= 0 {
+			t.Errorf("row %d empty: %+v", i, r)
+		}
+		insts += r.Instructions
+		stalls += r.StallTranslation + r.StallReplay + r.StallNonReplay + r.StallOther
+	}
+	if insts != uint64(cfg.Instructions) {
+		t.Errorf("heartbeat instructions sum to %d, want %d", insts, cfg.Instructions)
+	}
+	last := rows[len(rows)-1]
+	if last.EndCycle != res.Cores[0].Cycles {
+		t.Errorf("last row ends at cycle %d, result has %d cycles", last.EndCycle, res.Cores[0].Cycles)
+	}
+	var wantStalls uint64
+	for _, s := range res.Cores[0].CPU.StallCycles {
+		wantStalls += s
+	}
+	if stalls != wantStalls {
+		t.Errorf("heartbeat stall cycles sum to %d, result has %d", stalls, wantStalls)
+	}
+	// pr thrashes the STLB: the derived rates must reflect that.
+	if last.STLBMPKI <= 1 {
+		t.Errorf("pr STLB MPKI %.2f suspiciously low in heartbeat", last.STLBMPKI)
+	}
+}
+
+// A trace produced by a real run must be valid Chrome trace-event JSON with
+// events on every lane the pr workload exercises.
+func TestRunProducesLoadableChromeTrace(t *testing.T) {
+	cfg := quickCfg()
+	tr := telemetry.NewTracer(1<<14, 16)
+	cfg.Telemetry = &telemetry.Hub{Tracer: tr}
+	if _, err := Run(cfg, buildTrace(t, "pr", 90_000)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("run trace is not valid JSON: %v", err)
+	}
+	lanes := map[int]int{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "M" {
+			lanes[ev.Tid]++
+		}
+	}
+	for lane := telemetry.LaneRequest; lane <= telemetry.LaneStall; lane++ {
+		if lanes[int(lane)] == 0 {
+			t.Errorf("no events on lane %v", lane)
+		}
+	}
+}

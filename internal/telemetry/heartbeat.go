@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"atcsim/internal/mem"
+)
+
+// NumStallKinds is the number of ROB-head stall classes mirrored from
+// internal/cpu (which imports this package, so the constant lives here; the
+// system layer asserts the two stay in sync).
+const NumStallKinds = 4
+
+// Snapshot is a cumulative view of the machine's counters at one point of
+// the measured phase. The heartbeat engine differences consecutive snapshots
+// to produce interval rows, so every field must be monotonic.
+type Snapshot struct {
+	Cycle        int64 // max core cycle since measurement start
+	Instructions uint64
+
+	L1DMisses [mem.NumClasses]uint64
+	L2Misses  [mem.NumClasses]uint64
+	LLCMisses [mem.NumClasses]uint64
+
+	STLBAccesses uint64
+	STLBMisses   uint64
+
+	// LeafReads / LeafDRAM track leaf-PTE service (translation hit rate).
+	LeafReads uint64
+	LeafDRAM  uint64
+
+	Stalls [NumStallKinds]uint64
+
+	DRAMReads     uint64
+	DRAMRowHits   uint64
+	DRAMRowClosed uint64
+	DRAMRowMisses uint64
+}
+
+// Row is one derived heartbeat interval.
+type Row struct {
+	Index        int     `json:"interval"`
+	EndCycle     int64   `json:"end_cycle"`
+	Cycles       int64   `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	L1DMPKI       float64 `json:"l1d_mpki"`
+	L2MPKI        float64 `json:"l2_mpki"`
+	LLCMPKI       float64 `json:"llc_mpki"`
+	LLCReplayMPKI float64 `json:"llc_replay_mpki"`
+	LLCLeafMPKI   float64 `json:"llc_leaf_mpki"`
+
+	STLBMissRate float64 `json:"stlb_miss_rate"`
+	STLBMPKI     float64 `json:"stlb_mpki"`
+	TransHitRate float64 `json:"trans_hit_rate"`
+
+	StallTranslation uint64 `json:"stall_translation"`
+	StallReplay      uint64 `json:"stall_replay"`
+	StallNonReplay   uint64 `json:"stall_nonreplay"`
+	StallOther       uint64 `json:"stall_other"`
+
+	DRAMRowHitRate float64 `json:"dram_row_hit_rate"`
+}
+
+func mpki(misses, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(insts)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// DeltaRow derives the interval row between prev and cur (cur - prev).
+func DeltaRow(prev, cur Snapshot, index int) Row {
+	insts := cur.Instructions - prev.Instructions
+	cycles := cur.Cycle - prev.Cycle
+	demand := func(m [mem.NumClasses]uint64, p [mem.NumClasses]uint64) uint64 {
+		return (m[mem.ClassNonReplay] - p[mem.ClassNonReplay]) +
+			(m[mem.ClassReplay] - p[mem.ClassReplay])
+	}
+	stlbAcc := cur.STLBAccesses - prev.STLBAccesses
+	stlbMiss := cur.STLBMisses - prev.STLBMisses
+	leaf := cur.LeafReads - prev.LeafReads
+	leafDRAM := cur.LeafDRAM - prev.LeafDRAM
+	rowOps := (cur.DRAMRowHits - prev.DRAMRowHits) +
+		(cur.DRAMRowClosed - prev.DRAMRowClosed) +
+		(cur.DRAMRowMisses - prev.DRAMRowMisses)
+
+	r := Row{
+		Index:        index,
+		EndCycle:     cur.Cycle,
+		Cycles:       cycles,
+		Instructions: insts,
+
+		L1DMPKI:       mpki(demand(cur.L1DMisses, prev.L1DMisses), insts),
+		L2MPKI:        mpki(demand(cur.L2Misses, prev.L2Misses), insts),
+		LLCMPKI:       mpki(demand(cur.LLCMisses, prev.LLCMisses), insts),
+		LLCReplayMPKI: mpki(cur.LLCMisses[mem.ClassReplay]-prev.LLCMisses[mem.ClassReplay], insts),
+		LLCLeafMPKI:   mpki(cur.LLCMisses[mem.ClassTransLeaf]-prev.LLCMisses[mem.ClassTransLeaf], insts),
+
+		STLBMissRate: ratio(stlbMiss, stlbAcc),
+		STLBMPKI:     mpki(stlbMiss, insts),
+		TransHitRate: ratio(leaf-leafDRAM, leaf),
+
+		StallTranslation: cur.Stalls[0] - prev.Stalls[0],
+		StallReplay:      cur.Stalls[1] - prev.Stalls[1],
+		StallNonReplay:   cur.Stalls[2] - prev.Stalls[2],
+		StallOther:       cur.Stalls[3] - prev.Stalls[3],
+
+		DRAMRowHitRate: ratio(cur.DRAMRowHits-prev.DRAMRowHits, rowOps),
+	}
+	if cycles > 0 {
+		r.IPC = float64(insts) / float64(cycles)
+	}
+	return r
+}
+
+// Format selects the heartbeat stream encoding.
+type Format int
+
+// Heartbeat stream encodings.
+const (
+	FormatCSV Format = iota
+	FormatJSONL
+)
+
+// CSVHeader is the column order of FormatCSV rows.
+const CSVHeader = "interval,end_cycle,cycles,instructions,ipc," +
+	"l1d_mpki,l2_mpki,llc_mpki,llc_replay_mpki,llc_leaf_mpki," +
+	"stlb_miss_rate,stlb_mpki,trans_hit_rate," +
+	"stall_translation,stall_replay,stall_nonreplay,stall_other," +
+	"dram_row_hit_rate"
+
+// Heartbeat turns cumulative snapshots taken every Every() instructions into
+// interval rows, streaming them to an optional writer and retaining them for
+// programmatic access. Like the tracer it is a pure observer.
+type Heartbeat struct {
+	every  int
+	w      io.Writer
+	format Format
+	prev   Snapshot
+	rows   []Row
+	err    error
+}
+
+// NewHeartbeat creates a heartbeat engine snapshotting every `every`
+// instructions (non-positive falls back to 100_000). w may be nil to only
+// retain rows in memory.
+func NewHeartbeat(w io.Writer, format Format, every int) *Heartbeat {
+	if every <= 0 {
+		every = 100_000
+	}
+	return &Heartbeat{every: every, w: w, format: format}
+}
+
+// Every returns the snapshot period in instructions.
+func (h *Heartbeat) Every() int {
+	if h == nil {
+		return 0
+	}
+	return h.every
+}
+
+// Begin records the measurement-start baseline and emits the CSV header.
+func (h *Heartbeat) Begin(s Snapshot) {
+	if h == nil {
+		return
+	}
+	h.prev = s
+	if h.w != nil && h.format == FormatCSV {
+		_, err := fmt.Fprintln(h.w, CSVHeader)
+		h.setErr(err)
+	}
+}
+
+// Tick ingests the next cumulative snapshot, derives the interval row,
+// streams and retains it. Ticks before Begin difference against the zero
+// snapshot.
+func (h *Heartbeat) Tick(s Snapshot) Row {
+	if h == nil {
+		return Row{}
+	}
+	row := DeltaRow(h.prev, s, len(h.rows))
+	h.prev = s
+	h.rows = append(h.rows, row)
+	h.write(row)
+	return row
+}
+
+func (h *Heartbeat) write(r Row) {
+	if h.w == nil {
+		return
+	}
+	switch h.format {
+	case FormatJSONL:
+		b, err := json.Marshal(r)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = h.w.Write(b)
+		}
+		h.setErr(err)
+	default:
+		_, err := fmt.Fprintf(h.w,
+			"%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.6f,%.4f,%.6f,%d,%d,%d,%d,%.6f\n",
+			r.Index, r.EndCycle, r.Cycles, r.Instructions, r.IPC,
+			r.L1DMPKI, r.L2MPKI, r.LLCMPKI, r.LLCReplayMPKI, r.LLCLeafMPKI,
+			r.STLBMissRate, r.STLBMPKI, r.TransHitRate,
+			r.StallTranslation, r.StallReplay, r.StallNonReplay, r.StallOther,
+			r.DRAMRowHitRate)
+		h.setErr(err)
+	}
+}
+
+func (h *Heartbeat) setErr(err error) {
+	if h.err == nil && err != nil {
+		h.err = err
+	}
+}
+
+// Rows returns every interval row produced so far.
+func (h *Heartbeat) Rows() []Row {
+	if h == nil {
+		return nil
+	}
+	return h.rows
+}
+
+// Err returns the first stream-write error, if any.
+func (h *Heartbeat) Err() error {
+	if h == nil {
+		return nil
+	}
+	return h.err
+}

@@ -10,6 +10,7 @@ import (
 
 	"atcsim/internal/mem"
 	"atcsim/internal/stats"
+	"atcsim/internal/telemetry"
 )
 
 // Config describes one TLB.
@@ -48,6 +49,7 @@ type TLB struct {
 	ents  []entry
 	clock uint64
 	st    Stats
+	tr    *telemetry.Tracer
 
 	// 2MB-page entries: fully associative, LRU.
 	huge map[mem.Addr]*hugeEntry
@@ -105,6 +107,12 @@ func (t *TLB) Entries() int { return t.cfg.Entries }
 
 // Stats returns a snapshot of the counters.
 func (t *TLB) Stats() Stats { return t.st }
+
+// SetTracer attaches a request-lifecycle tracer (nil disables). Evictions
+// that occur inside a sampled request's window are recorded as instant
+// events on the MMU lane — set thrash during a tracked walk is visible in
+// the trace.
+func (t *TLB) SetTracer(tr *telemetry.Tracer) { t.tr = tr }
 
 // ResetStats zeroes counters and the recall histogram.
 func (t *TLB) ResetStats() {
@@ -179,6 +187,10 @@ func (t *TLB) Insert(va, frame mem.Addr) {
 	if e.valid {
 		t.st.Evictions++
 		t.evictRecall(set, e.vpn)
+		if t.tr.Active() {
+			t.tr.Instant("tlb", t.cfg.Name+" evict", telemetry.LaneMMU,
+				telemetry.IArg("vpn", int64(e.vpn)), telemetry.IArg("set", int64(set)))
+		}
 	}
 	t.clock++
 	*e = entry{valid: true, vpn: vpn, frame: frame, stamp: t.clock}
@@ -244,6 +256,10 @@ func (t *TLB) InsertHuge(va, frame mem.Addr) {
 		}
 		delete(t.huge, victim)
 		t.st.Evictions++
+		if t.tr.Active() {
+			t.tr.Instant("tlb", t.cfg.Name+" evict-huge", telemetry.LaneMMU,
+				telemetry.IArg("hpn", int64(victim)))
+		}
 	}
 	t.clock++
 	t.huge[key] = &hugeEntry{frame: frame, stamp: t.clock}
