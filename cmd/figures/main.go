@@ -1,17 +1,21 @@
 // Command figures regenerates the paper's tables and figures and prints
 // them as text reports. Use -list to see the experiment identifiers, -id to
 // run one experiment, or no arguments to run the full suite (minutes).
+// Simulations run in parallel (-jobs, default: all CPUs) and can be
+// persisted across invocations with -cache-dir; the report output is
+// byte-identical regardless of either option.
 //
 //	figures -list
 //	figures -id fig14
-//	figures -scale quick
-//	figures -markdown > results.md
+//	figures -scale quick -jobs 8
+//	figures -cache-dir .figcache -markdown > results.md
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"atcsim/internal/experiments"
@@ -25,6 +29,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
 		csvDir   = flag.String("csv", "", "also write one CSV file per experiment into this directory")
 		progress = flag.Bool("progress", false, "report each simulation run on stderr as the sweep progresses")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = number of CPUs)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results here and reuse them on later runs")
 	)
 	flag.Parse()
 
@@ -49,8 +55,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	runner := experiments.NewRunner(sc)
+	// Validate the CSV target before the sweep: a bad path should fail in
+	// milliseconds, not after minutes of simulation.
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: cannot create -csv directory %q: %v\n", *csvDir, err)
+			os.Exit(1)
+		}
+	}
+
+	runner, err := experiments.NewRunnerWith(sc, experiments.Options{
+		Jobs:     *jobs,
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: cannot open -cache-dir %q: %v\n", *cacheDir, err)
+		os.Exit(1)
+	}
 	if *progress {
+		// Simulations finish on many goroutines; OnRun calls are serialized
+		// by the runner, so each line prints whole.
 		runner.OnRun = func(key, name string, runs int) {
 			fmt.Fprintf(os.Stderr, "figures: run %4d  %-24s %s\n", runs, key, name)
 		}
@@ -68,18 +92,16 @@ func main() {
 		reports = experiments.AllWith(runner)
 	}
 	if *progress {
-		fmt.Fprintf(os.Stderr, "figures: %d simulations complete\n", runner.Runs())
+		fmt.Fprintf(os.Stderr, "figures: %d simulations complete (%d loaded from cache)\n",
+			runner.Runs(), runner.DiskHits())
+	}
+	if err := runner.CacheErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: warning: result cache: %v\n", err)
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
-		}
-	}
 	for _, rep := range reports {
 		if *csvDir != "" && rep.Table != nil {
-			path := *csvDir + "/" + rep.ID + ".csv"
+			path := filepath.Join(*csvDir, rep.ID+".csv")
 			if err := os.WriteFile(path, []byte(rep.Table.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)

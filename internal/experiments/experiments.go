@@ -1,7 +1,17 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation. Each FigN/TableN function runs the simulations it needs (with
-// memoization across experiments), and returns a Report containing the
-// rows/series the paper plots plus headline summary numbers.
+// evaluation. Each FigN/TableN function runs the simulations it needs and
+// returns a Report containing the rows/series the paper plots plus headline
+// summary numbers.
+//
+// Simulations are scheduled through a parallel experiment engine
+// (internal/experiments/runner): every run is identified by a canonical run
+// key — the fully-resolved machine configuration plus workload, trace seed
+// and trace length — deduplicated across experiments, executed on a bounded
+// worker pool, and optionally persisted to an on-disk cache so interrupted
+// or overlapping sweeps resume instead of recomputing. Reports are
+// byte-identical regardless of the job count (each simulation is itself
+// deterministic and single-threaded; concurrency only changes *when* a run
+// executes, never its result).
 //
 // Figures 9, 11 and 13 are policy/state diagrams with no measured data;
 // their semantics are unit-tested in internal/repl and internal/cache.
@@ -10,7 +20,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"atcsim/internal/experiments/runner"
 	"atcsim/internal/stats"
 	"atcsim/internal/system"
 	"atcsim/internal/trace"
@@ -107,43 +119,131 @@ func sortStrings(s []string) {
 	}
 }
 
-// Runner caches traces and simulation results so that experiments sharing a
-// configuration (e.g. the baseline) pay for it once. It is not safe for
-// concurrent use.
+// Options configures the experiment engine behind a Runner.
+type Options struct {
+	// Jobs bounds how many simulations execute concurrently. Zero or
+	// negative selects runtime.NumCPU(). Report output is byte-identical for
+	// any value.
+	Jobs int
+	// CacheDir, when non-empty, enables the on-disk result cache: every
+	// finished simulation is written there (JSON, keyed by run-key hash with
+	// a format-version field) and later runners with the same directory load
+	// it back instead of re-simulating. The directory is created if missing.
+	CacheDir string
+}
+
+// Runner schedules and caches the simulations experiments request. Traces
+// and results are memoized by canonical run key, so experiments sharing a
+// configuration (e.g. the baseline) pay for it once — even when they execute
+// concurrently. All methods are safe for concurrent use.
 type Runner struct {
 	sc      Scale
-	traces  map[string]*trace.Trace
-	results map[string]*system.Result
-	runs    int
+	pool    *runner.Pool
+	traces  *runner.Cache[*trace.Trace]
+	results *runner.Cache[*system.Result]
+	disk    *runner.Disk
+
+	mu       sync.Mutex
+	runs     int
+	diskHits int
+	cacheErr error
 
 	// OnRun, when non-nil, is invoked after every simulation the runner
-	// actually performs (memoization hits are silent) with the memoization
-	// key, the benchmark name and the number of simulations so far — the
-	// live-progress hook for long sweeps (cmd/figures -progress).
+	// actually performs (memoization and disk-cache hits are silent) with
+	// the experiment's run label, the benchmark name and the number of
+	// simulations so far — the live-progress hook for long sweeps
+	// (cmd/figures -progress). Calls are serialized under the runner's
+	// internal lock, so the callback needs no locking of its own; under a
+	// parallel sweep the invocation order is nondeterministic. Set it before
+	// the first Run.
 	OnRun func(key, name string, runs int)
 }
 
-// NewRunner creates a runner at the given scale.
+// NewRunner creates a sequential runner at the given scale (one simulation
+// at a time, no on-disk cache) — the right default for tests and library
+// use. Use NewRunnerWith to run simulations in parallel or to persist
+// results.
 func NewRunner(sc Scale) *Runner {
-	return &Runner{
-		sc:      sc,
-		traces:  make(map[string]*trace.Trace),
-		results: make(map[string]*system.Result),
+	r, err := NewRunnerWith(sc, Options{Jobs: 1})
+	if err != nil {
+		// Options{Jobs: 1} cannot fail: no cache directory is opened.
+		panic(err)
 	}
+	return r
+}
+
+// NewRunnerWith creates a runner with an explicit job count and optional
+// on-disk result cache. It fails only when the cache directory cannot be
+// created.
+func NewRunnerWith(sc Scale, opts Options) (*Runner, error) {
+	r := &Runner{
+		sc:      sc,
+		pool:    runner.NewPool(opts.Jobs),
+		traces:  runner.NewCache[*trace.Trace](),
+		results: runner.NewCache[*system.Result](),
+	}
+	if opts.CacheDir != "" {
+		disk, err := runner.NewDisk(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.disk = disk
+	}
+	return r, nil
 }
 
 // Scale returns the runner's scale.
 func (r *Runner) Scale() Scale { return r.sc }
 
-// Runs returns the number of simulations performed so far (excluding
-// memoization hits).
-func (r *Runner) Runs() int { return r.runs }
+// Jobs returns the runner's simulation concurrency bound.
+func (r *Runner) Jobs() int { return r.pool.Jobs() }
+
+// Runs returns the number of simulations actually performed so far
+// (memoization and disk-cache hits excluded).
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}
+
+// DiskHits returns how many results were served from the on-disk cache
+// instead of being simulated.
+func (r *Runner) DiskHits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.diskHits
+}
+
+// CacheErr returns the first on-disk cache read/write failure observed, if
+// any. Cache failures never fail a sweep — the result is recomputed or kept
+// in memory only — but callers may want to surface them.
+func (r *Runner) CacheErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheErr
+}
 
 func (r *Runner) ran(key, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.runs++
 	if r.OnRun != nil {
 		r.OnRun(key, name, r.runs)
 	}
+}
+
+func (r *Runner) noteDiskHit() {
+	r.mu.Lock()
+	r.diskHits++
+	r.mu.Unlock()
+}
+
+func (r *Runner) noteCacheErr(err error) {
+	r.mu.Lock()
+	if r.cacheErr == nil {
+		r.cacheErr = err
+	}
+	r.mu.Unlock()
 }
 
 // Trace returns the (cached) synthesized trace for a benchmark at the
@@ -152,52 +252,53 @@ func (r *Runner) Trace(name string) *trace.Trace {
 	return r.TraceSeeded(name, r.sc.Seed)
 }
 
-// TraceSeeded returns the (cached) trace for a benchmark and seed.
+// TraceSeeded returns the (cached) trace for a benchmark and seed. Trace
+// synthesis is single-flight: concurrent requests for the same trace share
+// one build.
 func (r *Runner) TraceSeeded(name string, seed int64) *trace.Trace {
 	key := fmt.Sprintf("%s@%d", name, seed)
-	if t, ok := r.traces[key]; ok {
-		return t
-	}
-	s, err := workloads.ByName(name)
-	if err != nil {
-		panic(err) // experiment tables only reference registered names
-	}
-	t := s.Build(r.sc.TraceLen, seed)
-	r.traces[key] = t
+	t, _ := r.traces.Do(key, func() *trace.Trace {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			panic(err) // experiment tables only reference registered names
+		}
+		return s.Build(r.sc.TraceLen, seed)
+	})
 	return t
 }
 
-// SeededSpeedups measures the full-stack speedup of one benchmark across
-// the primary seed and every extra seed, returning the individual values.
-// It quantifies how sensitive the headline result is to the synthetic
-// trace instance.
-func (r *Runner) SeededSpeedups(name string) []float64 {
-	seeds := append([]int64{r.sc.Seed}, r.sc.ExtraSeeds...)
-	out := make([]float64, 0, len(seeds))
-	for _, seed := range seeds {
-		tr := r.TraceSeeded(name, seed)
-		run := func(key string, mod func(*system.Config)) *system.Result {
-			ck := fmt.Sprintf("%s@%d|%s", key, seed, name)
-			if res, ok := r.results[ck]; ok {
-				return res
-			}
-			cfg := r.baseConfig()
-			if mod != nil {
-				mod(&cfg)
-			}
-			res, err := system.Run(cfg, tr)
-			if err != nil {
-				panic(err)
-			}
-			r.results[ck] = res
-			r.ran(ck, name)
-			return res
-		}
-		base := run("baseline", nil)
-		enh := run("tempo", func(c *system.Config) { c.Apply(system.TEMPO) })
-		out = append(out, enh.SpeedupOver(base))
+// cached is the engine core every simulation goes through: it derives the
+// canonical run key, consults the in-memory single-flight cache and the
+// optional disk cache, and otherwise executes sim on the worker pool,
+// persisting the fresh result. label/name feed OnRun; kind, names, seeds and
+// cfg define the canonical key.
+func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
+	cfg system.Config, sim func() (*system.Result, error)) *system.Result {
+	key, err := runner.NewKey(kind, names, seeds, r.sc.TraceLen, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: key %s/%s: %v", label, name, err))
 	}
-	return out
+	res, _ := r.results.Do(key.Hash(), func() *system.Result {
+		fromDisk := new(system.Result)
+		if ok, err := r.disk.Load(key, fromDisk); err != nil {
+			r.noteCacheErr(err) // undecodable entry: recompute below
+		} else if ok {
+			r.noteDiskHit()
+			return fromDisk
+		}
+		var out *system.Result
+		var simErr error
+		r.pool.Run(func() { out, simErr = sim() })
+		if simErr != nil {
+			panic(fmt.Sprintf("experiments: run %s/%s: %v", label, name, simErr))
+		}
+		r.ran(label, name)
+		if err := r.disk.Store(key, out); err != nil {
+			r.noteCacheErr(err)
+		}
+		return out
+	})
+	return res
 }
 
 // baseConfig is the scale-adjusted Table I configuration.
@@ -208,24 +309,25 @@ func (r *Runner) baseConfig() system.Config {
 	return cfg
 }
 
-// Run simulates benchmark name under a modified configuration. key must
-// uniquely identify the modification; results are memoized on (key, name).
+// Run simulates benchmark name under a modified configuration. key labels
+// the modification in progress output; deduplication uses the canonical run
+// key (the fully-resolved configuration plus workload, seed and trace
+// length), so two experiments requesting identical machines share one
+// simulation even under different labels.
 func (r *Runner) Run(key, name string, mod func(*system.Config)) *system.Result {
-	ck := key + "|" + name
-	if res, ok := r.results[ck]; ok {
-		return res
-	}
+	return r.runSeeded(key, name, r.sc.Seed, mod)
+}
+
+// runSeeded is Run against the trace synthesized with an explicit seed.
+func (r *Runner) runSeeded(label, name string, seed int64, mod func(*system.Config)) *system.Result {
 	cfg := r.baseConfig()
 	if mod != nil {
 		mod(&cfg)
 	}
-	res, err := system.Run(cfg, r.Trace(name))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: run %s/%s: %v", key, name, err))
-	}
-	r.results[ck] = res
-	r.ran(key, name)
-	return res
+	return r.cached(label, name, runner.KindSingle, []string{name}, []int64{seed}, cfg,
+		func() (*system.Result, error) {
+			return system.Run(cfg, r.TraceSeeded(name, seed))
+		})
 }
 
 // Baseline runs the paper's baseline (DRRIP + SHiP) for a benchmark.
@@ -238,57 +340,92 @@ func (r *Runner) Enhanced(name string, e system.Enhancement) *system.Result {
 	return r.Run("enh:"+e.String(), name, func(c *system.Config) { c.Apply(e) })
 }
 
+// SeededSpeedups measures the full-stack speedup of one benchmark across
+// the primary seed and every extra seed, returning the individual values in
+// seed order. It quantifies how sensitive the headline result is to the
+// synthetic trace instance.
+func (r *Runner) SeededSpeedups(name string) []float64 {
+	return r.SeededSpeedupsAt(name, append([]int64{r.sc.Seed}, r.sc.ExtraSeeds...))
+}
+
+// SeededSpeedupsAt is SeededSpeedups over an explicit seed list. Seeds are
+// evaluated concurrently (bounded by the runner's job count) and results
+// returned in seed order.
+func (r *Runner) SeededSpeedupsAt(name string, seeds []int64) []float64 {
+	out := make([]float64, len(seeds))
+	forEachIndex(len(seeds), func(i int) {
+		seed := seeds[i]
+		base := r.runSeeded(fmt.Sprintf("baseline@%d", seed), name, seed, nil)
+		enh := r.runSeeded(fmt.Sprintf("tempo@%d", seed), name, seed,
+			func(c *system.Config) { c.Apply(system.TEMPO) })
+		out[i] = enh.SpeedupOver(base)
+	})
+	return out
+}
+
+// catalogEntry pairs an experiment identifier with its generator function.
+type catalogEntry struct {
+	id string
+	fn func(*Runner) *Report
+}
+
+// catalog lists every experiment in paper order; IDs, All and ByID all
+// derive from it, so an experiment registered here is automatically listed,
+// runnable and covered by the documentation-coverage test.
+var catalog = []catalogEntry{
+	{"fig1", Fig1}, {"fig2", Fig2}, {"fig3", Fig3}, {"fig4", Fig4},
+	{"fig5", Fig5}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
+	{"fig10", Fig10}, {"fig12", Fig12}, {"fig14", Fig14}, {"fig15", Fig15},
+	{"fig16", Fig16}, {"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
+	{"fig20", Fig20}, {"fig21", Fig21}, {"table1", TableI}, {"table2", TableII},
+	{"multicore", MultiCore},
+	{"ablation-decompose", AblationDecompose},
+	{"ablation-walkers", AblationWalkers},
+	{"ablation-replaydelay", AblationReplayDelay},
+	{"ablation-scatter", AblationScatter},
+	{"ablation-t-hawkeye", AblationTHawkeye},
+	{"ablation-hugepages", AblationHugePages},
+	{"comparison", Comparison},
+	{"robustness", Robustness},
+}
+
 // All returns every experiment report at the given scale, in paper order.
 func All(sc Scale) []*Report { return AllWith(NewRunner(sc)) }
 
 // AllWith is All on a caller-provided runner, so long sweeps can install a
-// progress hook (Runner.OnRun) or share memoized results.
+// progress hook (Runner.OnRun), share memoized results, or run in parallel
+// (NewRunnerWith). Experiments execute concurrently — the runner's job count
+// bounds how many simulations are in flight — and reports are assembled in
+// paper order, so the output is identical to a sequential sweep.
 func AllWith(r *Runner) []*Report {
-	return []*Report{
-		Fig1(r), Fig2(r), Fig3(r), Fig4(r), Fig5(r), Fig6(r), Fig7(r), Fig8(r),
-		Fig10(r), Fig12(r), Fig14(r), Fig15(r), Fig16(r), Fig17(r), Fig18(r),
-		Fig19(r), Fig20(r), Fig21(r), TableI(r), TableII(r), MultiCore(r),
-		AblationDecompose(r), AblationWalkers(r), AblationReplayDelay(r),
-		AblationScatter(r), AblationTHawkeye(r), AblationHugePages(r),
-		Comparison(r), Robustness(r),
-	}
+	reports := make([]*Report, len(catalog))
+	forEachIndex(len(catalog), func(i int) {
+		reports[i] = catalog[i].fn(r)
+	})
+	return reports
 }
 
 // ByID returns a single experiment by its identifier ("fig1".."fig21",
-// "table1", "table2", "multicore").
+// "table1", "table2", "multicore", "ablation-*", "comparison",
+// "robustness").
 func ByID(sc Scale, id string) (*Report, error) { return ByIDWith(NewRunner(sc), id) }
 
 // ByIDWith is ByID on a caller-provided runner.
 func ByIDWith(r *Runner, id string) (*Report, error) {
-	f, ok := map[string]func(*Runner) *Report{
-		"fig1": Fig1, "fig2": Fig2, "fig3": Fig3, "fig4": Fig4, "fig5": Fig5,
-		"fig6": Fig6, "fig7": Fig7, "fig8": Fig8, "fig10": Fig10, "fig12": Fig12,
-		"fig14": Fig14, "fig15": Fig15, "fig16": Fig16, "fig17": Fig17,
-		"fig18": Fig18, "fig19": Fig19, "fig20": Fig20, "fig21": Fig21,
-		"table1": TableI, "table2": TableII, "multicore": MultiCore,
-		"ablation-decompose":   AblationDecompose,
-		"ablation-walkers":     AblationWalkers,
-		"ablation-replaydelay": AblationReplayDelay,
-		"ablation-scatter":     AblationScatter,
-		"ablation-t-hawkeye":   AblationTHawkeye,
-		"ablation-hugepages":   AblationHugePages,
-		"comparison":           Comparison,
-		"robustness":           Robustness,
-	}[strings.ToLower(id)]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	want := strings.ToLower(id)
+	for _, e := range catalog {
+		if e.id == want {
+			return e.fn(r), nil
+		}
 	}
-	return f(r), nil
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
 // IDs lists every experiment identifier in paper order.
 func IDs() []string {
-	return []string{
-		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig10", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18",
-		"fig19", "fig20", "fig21", "table1", "table2", "multicore",
-		"ablation-decompose", "ablation-walkers", "ablation-replaydelay",
-		"ablation-scatter", "ablation-t-hawkeye", "ablation-hugepages",
-		"comparison", "robustness",
+	out := make([]string, len(catalog))
+	for i, e := range catalog {
+		out[i] = e.id
 	}
+	return out
 }

@@ -1,0 +1,31 @@
+package experiments
+
+import "sync"
+
+// forEachIndex runs f(0..n-1) on separate goroutines and waits for all of
+// them. Simulation concurrency is still bounded by the runner's worker pool
+// (goroutines block in Pool.Run), so fanning out here costs only scheduling.
+// Panics are captured per index and the lowest-index one re-raised on the
+// caller, matching sequential behavior.
+func forEachIndex(n int, f func(i int)) {
+	if n == 1 {
+		f(0)
+		return
+	}
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -13,19 +13,26 @@ import (
 // Summary keys: mean (grand mean speedup), worstMin (lowest per-seed
 // speedup across all benchmarks).
 func Robustness(r *Runner) *Report {
-	seeds := r.Scale().ExtraSeeds
-	if len(seeds) == 0 {
-		// Default: two extra seeds beyond the scale's primary one.
-		r.sc.ExtraSeeds = []int64{7, 13}
+	extra := r.Scale().ExtraSeeds
+	if len(extra) == 0 {
+		// Default: two extra seeds beyond the scale's primary one. Kept
+		// local — the runner's scale is shared and must not be mutated.
+		extra = []int64{7, 13}
 	}
-	n := 1 + len(r.sc.ExtraSeeds)
+	seeds := append([]int64{r.Scale().Seed}, extra...)
+
+	names := r.Scale().workloads()
+	speedups := make([][]float64, len(names))
+	forEachIndex(len(names), func(i int) {
+		speedups[i] = r.SeededSpeedupsAt(names[i], seeds)
+	})
 
 	t := stats.NewTable("benchmark", "mean", "min", "max", "seeds")
 	var all []float64
 	worstMin := 0.0
 	first := true
-	for _, w := range r.Scale().workloads() {
-		sp := r.SeededSpeedups(w)
+	for i, w := range names {
+		sp := speedups[i]
 		mn, mx, sum := sp[0], sp[0], 0.0
 		for _, s := range sp {
 			sum += s
@@ -36,7 +43,7 @@ func Robustness(r *Runner) *Report {
 				mx = s
 			}
 		}
-		t.AddRowf(w, sum/float64(len(sp)), mn, mx, n)
+		t.AddRowf(w, sum/float64(len(sp)), mn, mx, len(seeds))
 		all = append(all, sp...)
 		if first || mn < worstMin {
 			worstMin = mn

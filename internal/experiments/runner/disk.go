@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion identifies the on-disk cache schema. Entries written with a
+// different version are ignored (treated as misses), so bumping this after
+// an incompatible change to the result or key layout invalidates stale
+// caches instead of mis-deserializing them.
+const FormatVersion = 1
+
+// Disk is an on-disk result store: one JSON file per run key, named by the
+// key's hash. Writes are atomic (temp file + rename), so a sweep killed
+// mid-write never leaves a corrupt entry that a resumed sweep would trust;
+// unreadable or mismatched entries are simply recomputed.
+//
+// A nil *Disk is valid and behaves as an always-miss, discard-writes store.
+type Disk struct {
+	dir string
+}
+
+// envelope is the on-disk file layout.
+type envelope struct {
+	// Version is the cache format version (FormatVersion at write time).
+	Version int `json:"version"`
+	// Key reproduces the full canonical key for debuggability and to guard
+	// against hash collisions.
+	Key Key `json:"key"`
+	// Result is the simulation result, opaque to this package.
+	Result json.RawMessage `json:"result"`
+}
+
+// NewDisk opens (creating if necessary) a cache directory. The directory
+// path is embedded in any error so callers can report it verbatim.
+func NewDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, errors.New("runner: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cannot create cache directory %q: %w", dir, err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the cache directory ("" for a nil store).
+func (d *Disk) Dir() string {
+	if d == nil {
+		return ""
+	}
+	return d.dir
+}
+
+func (d *Disk) path(k Key) string {
+	return filepath.Join(d.dir, k.Hash()+".json")
+}
+
+// Load looks k up, unmarshaling the stored result into out (a pointer) when
+// present. It returns ok=false — with a nil error — for genuine misses,
+// version mismatches, corrupt entries and hash collisions: all of those mean
+// "recompute", not "fail the sweep". The error is reserved for a result that
+// was found and matched but could not be decoded into out.
+func (d *Disk) Load(k Key, out any) (ok bool, err error) {
+	if d == nil {
+		return false, nil
+	}
+	raw, err := os.ReadFile(d.path(k))
+	if err != nil {
+		return false, nil // miss (or unreadable — recompute either way)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return false, nil // corrupt (e.g. interrupted non-atomic copy)
+	}
+	if env.Version != FormatVersion || !env.Key.Equal(k) {
+		return false, nil
+	}
+	if err := json.Unmarshal(env.Result, out); err != nil {
+		return false, fmt.Errorf("runner: cache entry %s: decode result: %w", d.path(k), err)
+	}
+	return true, nil
+}
+
+// Store writes v as the cached result for k, atomically replacing any
+// existing entry.
+func (d *Disk) Store(k Key, v any) error {
+	if d == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: marshal result for %s: %w", k.Hash(), err)
+	}
+	env, err := json.Marshal(envelope{Version: FormatVersion, Key: k, Result: raw})
+	if err != nil {
+		return fmt.Errorf("runner: marshal cache entry for %s: %w", k.Hash(), err)
+	}
+	tmp, err := os.CreateTemp(d.dir, "entry-*.tmp")
+	if err != nil {
+		return fmt.Errorf("runner: cache write in %q: %w", d.dir, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: cache write %q: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: cache write %q: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, d.path(k)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: cache commit %q: %w", d.path(k), err)
+	}
+	return nil
+}

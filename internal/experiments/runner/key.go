@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Run kinds: the machine topology a Key's configuration is instantiated
+// with. Two runs with identical configurations but different kinds (e.g. a
+// single-core run and an SMT run of the same benchmark) are distinct
+// simulations, so the kind is part of the canonical key.
+const (
+	// KindSingle is a single-core run over one trace.
+	KindSingle = "single"
+	// KindSMT is a 2-way SMT run (two traces sharing one core's hierarchy).
+	KindSMT = "smt"
+	// KindMulti is a multi-programmed run (one core per trace, shared LLC).
+	KindMulti = "multi"
+)
+
+// Key canonically identifies one simulation: what machine ran (the
+// fully-resolved configuration after every experiment modifier has been
+// applied), on which synthesized workloads, at which trace seeds and length.
+// Two experiments that request the same Key — even under different
+// experiment-local labels — share a single execution and a single cache
+// entry.
+type Key struct {
+	// Kind is the machine topology (KindSingle, KindSMT, KindMulti).
+	Kind string `json:"kind"`
+	// Workloads names the benchmark trace per hardware context, in core
+	// order.
+	Workloads []string `json:"workloads"`
+	// Seeds are the trace-synthesis seeds, matched to Workloads (a single
+	// seed applies to all workloads).
+	Seeds []int64 `json:"seeds"`
+	// TraceLen is the synthesized trace length per benchmark.
+	TraceLen int `json:"traceLen"`
+	// Config is the canonical JSON encoding of the fully-resolved machine
+	// configuration the run executes with.
+	Config json.RawMessage `json:"config"`
+}
+
+// NewKey builds a canonical Key, serializing cfg (any JSON-marshalable
+// configuration struct) into the key's canonical form.
+func NewKey(kind string, workloads []string, seeds []int64, traceLen int, cfg any) (Key, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return Key{}, fmt.Errorf("runner: marshal config for key: %w", err)
+	}
+	return Key{
+		Kind:      kind,
+		Workloads: append([]string(nil), workloads...),
+		Seeds:     append([]int64(nil), seeds...),
+		TraceLen:  traceLen,
+		Config:    raw,
+	}, nil
+}
+
+// Hash returns the key's canonical hash: the hex SHA-256 of its JSON
+// encoding. Struct-field order in Go's encoding/json is declaration order,
+// so the encoding — and therefore the hash — is stable across processes and
+// runs.
+func (k Key) Hash() string {
+	raw, err := json.Marshal(k)
+	if err != nil {
+		// Key fields are plain data; Marshal cannot fail unless Config was
+		// constructed by hand with invalid JSON.
+		panic(fmt.Sprintf("runner: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Equal reports whether two keys identify the same simulation.
+func (k Key) Equal(o Key) bool {
+	if k.Kind != o.Kind || k.TraceLen != o.TraceLen ||
+		len(k.Workloads) != len(o.Workloads) || len(k.Seeds) != len(o.Seeds) ||
+		string(k.Config) != string(o.Config) {
+		return false
+	}
+	for i := range k.Workloads {
+		if k.Workloads[i] != o.Workloads[i] {
+			return false
+		}
+	}
+	for i := range k.Seeds {
+		if k.Seeds[i] != o.Seeds[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,247 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type fakeConfig struct {
+	Policy  string
+	Entries int
+}
+
+func testKey(t *testing.T, policy string, entries int) Key {
+	t.Helper()
+	k, err := NewKey(KindSingle, []string{"pr"}, []int64{1}, 1000, fakeConfig{policy, entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyHashStable(t *testing.T) {
+	a := testKey(t, "ship", 2048)
+	b := testKey(t, "ship", 2048)
+	if a.Hash() != b.Hash() {
+		t.Errorf("identical keys hash differently: %s vs %s", a.Hash(), b.Hash())
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash %q is not hex sha256", a.Hash())
+	}
+}
+
+func TestKeyHashSensitivity(t *testing.T) {
+	base := testKey(t, "ship", 2048)
+	variants := []Key{
+		testKey(t, "t-ship", 2048), // config change
+		testKey(t, "ship", 1024),   // config change
+	}
+	if k, err := NewKey(KindSMT, []string{"pr"}, []int64{1}, 1000, fakeConfig{"ship", 2048}); err == nil {
+		variants = append(variants, k) // kind change
+	}
+	if k, err := NewKey(KindSingle, []string{"mcf"}, []int64{1}, 1000, fakeConfig{"ship", 2048}); err == nil {
+		variants = append(variants, k) // workload change
+	}
+	if k, err := NewKey(KindSingle, []string{"pr"}, []int64{7}, 1000, fakeConfig{"ship", 2048}); err == nil {
+		variants = append(variants, k) // seed change
+	}
+	if k, err := NewKey(KindSingle, []string{"pr"}, []int64{1}, 2000, fakeConfig{"ship", 2048}); err == nil {
+		variants = append(variants, k) // trace length change
+	}
+	seen := map[string]bool{base.Hash(): true}
+	for i, v := range variants {
+		h := v.Hash()
+		if seen[h] {
+			t.Errorf("variant %d collides with an earlier key", i)
+		}
+		seen[h] = true
+		if base.Equal(v) {
+			t.Errorf("variant %d compares Equal to base", i)
+		}
+	}
+	if !base.Equal(testKey(t, "ship", 2048)) {
+		t.Error("identical keys not Equal")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache[int]()
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := c.Do("k", func() int {
+				computes.Add(1)
+				return 42
+			})
+			if v != 42 {
+				t.Errorf("Do = %d", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	if v, fresh := c.Do("k", func() int { return 0 }); v != 42 || fresh {
+		t.Errorf("memoized Do = (%d, fresh=%v)", v, fresh)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCachePanicPropagates(t *testing.T) {
+	c := NewCache[int]()
+	mustPanic := func(f func()) (msg any) {
+		defer func() { msg = recover() }()
+		f()
+		return nil
+	}
+	if m := mustPanic(func() { c.Do("bad", func() int { panic("boom") }) }); m != "boom" {
+		t.Fatalf("computing caller recovered %v", m)
+	}
+	// Later callers of the failed key must see the same panic, not hang or
+	// get a zero value.
+	if m := mustPanic(func() { c.Do("bad", func() int { return 1 }) }); m != "boom" {
+		t.Fatalf("waiting caller recovered %v", m)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Jobs() != 3 {
+		t.Fatalf("Jobs = %d", p.Jobs())
+	}
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-gate
+				cur.Add(-1)
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak concurrency %d exceeds pool size 3", got)
+	}
+}
+
+func TestPoolDefaultJobs(t *testing.T) {
+	if NewPool(0).Jobs() < 1 {
+		t.Error("default pool has no workers")
+	}
+}
+
+type fakeResult struct {
+	IPC   float64
+	Hits  uint64
+	Notes []string
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t, "ship", 2048)
+	want := fakeResult{IPC: 1.25, Hits: 99, Notes: []string{"a", "b"}}
+
+	var miss fakeResult
+	if ok, err := d.Load(k, &miss); ok || err != nil {
+		t.Fatalf("empty cache Load = (%v, %v)", ok, err)
+	}
+	if err := d.Store(k, want); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeResult
+	ok, err := d.Load(k, &got)
+	if !ok || err != nil {
+		t.Fatalf("Load after Store = (%v, %v)", ok, err)
+	}
+	if got.IPC != want.IPC || got.Hits != want.Hits || len(got.Notes) != 2 {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+	// A different key must not hit the stored entry.
+	if ok, _ := d.Load(testKey(t, "lru", 2048), &got); ok {
+		t.Error("distinct key hit the cache")
+	}
+}
+
+func TestDiskVersionMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t, "ship", 2048)
+	if err := d.Store(k, fakeResult{IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.Hash()+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(raw), `"version":1`, `"version":999`, 1)
+	if stale == string(raw) {
+		t.Fatal("could not rewrite version field — envelope layout changed?")
+	}
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeResult
+	if ok, err := d.Load(k, &got); ok || err != nil {
+		t.Errorf("stale-version Load = (%v, %v), want miss", ok, err)
+	}
+}
+
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t, "ship", 2048)
+	if err := os.WriteFile(filepath.Join(dir, k.Hash()+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got fakeResult
+	if ok, err := d.Load(k, &got); ok || err != nil {
+		t.Errorf("corrupt Load = (%v, %v), want silent miss", ok, err)
+	}
+}
+
+func TestNilDiskIsDisabled(t *testing.T) {
+	var d *Disk
+	k := testKey(t, "ship", 2048)
+	if err := d.Store(k, fakeResult{}); err != nil {
+		t.Errorf("nil Store err = %v", err)
+	}
+	var got fakeResult
+	if ok, err := d.Load(k, &got); ok || err != nil {
+		t.Errorf("nil Load = (%v, %v)", ok, err)
+	}
+	if d.Dir() != "" {
+		t.Errorf("nil Dir = %q", d.Dir())
+	}
+}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"fmt"
 	"strings"
 
+	"atcsim/internal/experiments/runner"
 	"atcsim/internal/stats"
 	"atcsim/internal/system"
 	"atcsim/internal/trace"
@@ -42,15 +42,36 @@ func (r *Runner) availableMixes(mixes [][2]string) [][2]string {
 	return out
 }
 
-// runSMT simulates a 2-thread mix under the given enhancement level.
+// runSMT simulates a 2-thread mix under the given enhancement level. Like
+// single-core runs, SMT results are keyed canonically (the run kind keeps
+// them distinct from a single-core run of the same configuration) and cached.
 func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
 	cfg := r.baseConfig()
 	cfg.Apply(e)
-	res, err := system.RunSMT(cfg, r.Trace(mix[0]), r.Trace(mix[1]))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: smt %v: %v", mix, err))
-	}
-	return res
+	return r.cached("smt:"+e.String(), mix[0]+"-"+mix[1],
+		runner.KindSMT, mix[:], []int64{r.sc.Seed}, cfg,
+		func() (*system.Result, error) {
+			return system.RunSMT(cfg, r.Trace(mix[0]), r.Trace(mix[1]))
+		})
+}
+
+// runMulti simulates a multi-programmed mix (one benchmark per core) under
+// the given enhancement level, with cached results like every other run.
+func (r *Runner) runMulti(mix []string, e system.Enhancement) *system.Result {
+	cfg := r.baseConfig()
+	// Multi-core runs are len(mix)× the work; keep wall time in check.
+	cfg.Instructions /= 2
+	cfg.Warmup /= 2
+	cfg.Apply(e)
+	return r.cached("multi:"+e.String(), strings.Join(mix, "-"),
+		runner.KindMulti, mix, []int64{r.sc.Seed}, cfg,
+		func() (*system.Result, error) {
+			traces := make([]*trace.Trace, len(mix))
+			for i, w := range mix {
+				traces[i] = r.Trace(w)
+			}
+			return system.RunMulti(cfg, traces)
+		})
 }
 
 // Fig17 evaluates the full enhancement stack on a 2-way SMT core using the
@@ -58,17 +79,19 @@ func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
 //
 // Summary keys: mean (average harmonic speedup), max.
 func Fig17(r *Runner) *Report {
+	mixes := r.availableMixes(smtMixes)
+	sp := make([]float64, len(mixes))
+	forEachIndex(len(mixes), func(i int) {
+		base := r.runSMT(mixes[i], system.Baseline)
+		enh := r.runSMT(mixes[i], system.TEMPO)
+		sp[i] = enh.HarmonicSpeedupOver(base)
+	})
 	t := stats.NewTable("mix (T0-T1)", "harmonic speedup")
-	var sp []float64
 	maxSp := 0.0
-	for _, mix := range r.availableMixes(smtMixes) {
-		base := r.runSMT(mix, system.Baseline)
-		enh := r.runSMT(mix, system.TEMPO)
-		hs := enh.HarmonicSpeedupOver(base)
-		t.AddRowf(mix[0]+"-"+mix[1], hs)
-		sp = append(sp, hs)
-		if hs > maxSp {
-			maxSp = hs
+	for i, mix := range mixes {
+		t.AddRowf(mix[0]+"-"+mix[1], sp[i])
+		if sp[i] > maxSp {
+			maxSp = sp[i]
 		}
 	}
 	t.AddRowf("mean", mean(sp))
@@ -102,8 +125,7 @@ func MultiCore(r *Runner) *Report {
 	for _, w := range r.Scale().workloads() {
 		have[w] = true
 	}
-	t := stats.NewTable("mix", "harmonic speedup")
-	var sp []float64
+	var mixes [][]string
 	for _, mix := range multiMixes {
 		ok := true
 		for _, w := range mix {
@@ -112,50 +134,23 @@ func MultiCore(r *Runner) *Report {
 				break
 			}
 		}
-		if !ok {
-			continue
+		if ok {
+			mixes = append(mixes, mix)
 		}
-		traces := make([]*trace.Trace, len(mix))
-		for i, w := range mix {
-			traces[i] = r.Trace(w)
-		}
-		run := func(e system.Enhancement) *system.Result {
-			cfg := r.baseConfig()
-			// Multi-core runs are len(mix)× the work; keep wall time in check.
-			cfg.Instructions /= 2
-			cfg.Warmup /= 2
-			cfg.Apply(e)
-			res, err := system.RunMulti(cfg, traces)
-			if err != nil {
-				panic(err)
-			}
-			return res
-		}
-		hs := run(system.TEMPO).HarmonicSpeedupOver(run(system.Baseline))
-		t.AddRowf(strings.Join(mix, "-"), hs)
-		sp = append(sp, hs)
 	}
-	if len(sp) == 0 {
+	if len(mixes) == 0 {
 		// Quick scale: one mix over whatever benchmarks exist.
-		names := r.Scale().workloads()
-		traces := make([]*trace.Trace, 0, len(names))
-		for _, w := range names {
-			traces = append(traces, r.Trace(w))
-		}
-		run := func(e system.Enhancement) *system.Result {
-			cfg := r.baseConfig()
-			cfg.Instructions /= 2
-			cfg.Warmup /= 2
-			cfg.Apply(e)
-			res, err := system.RunMulti(cfg, traces)
-			if err != nil {
-				panic(err)
-			}
-			return res
-		}
-		hs := run(system.TEMPO).HarmonicSpeedupOver(run(system.Baseline))
-		t.AddRowf(strings.Join(names, "-"), hs)
-		sp = append(sp, hs)
+		mixes = [][]string{r.Scale().workloads()}
+	}
+	sp := make([]float64, len(mixes))
+	forEachIndex(len(mixes), func(i int) {
+		base := r.runMulti(mixes[i], system.Baseline)
+		enh := r.runMulti(mixes[i], system.TEMPO)
+		sp[i] = enh.HarmonicSpeedupOver(base)
+	})
+	t := stats.NewTable("mix", "harmonic speedup")
+	for i, mix := range mixes {
+		t.AddRowf(strings.Join(mix, "-"), sp[i])
 	}
 	t.AddRowf("mean", mean(sp))
 	return &Report{

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"atcsim/internal/mem"
 )
@@ -57,21 +58,33 @@ type Policy interface {
 // Factory builds a policy instance for a sets×ways cache.
 type Factory func(sets, ways int) Policy
 
-var registry = map[string]Factory{}
+// registryMu guards registry: policies may be registered from user code
+// while the parallel experiment engine constructs machines on other
+// goroutines, so lookups and registrations must not race.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
 
 // Register adds a named policy factory; it panics on duplicates since that
 // is a programming error. It is exported so that downstream users can plug
-// their own policies into the simulator (see examples/custompolicy).
+// their own policies into the simulator (see examples/custompolicy). It is
+// safe to call concurrently with New.
 func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic("repl: duplicate policy " + name)
 	}
 	registry[name] = f
 }
 
-// New creates the named policy for a sets×ways cache.
+// New creates the named policy for a sets×ways cache. It is safe for
+// concurrent use, so machines can be constructed from multiple goroutines.
 func New(name string, sets, ways int) (Policy, error) {
+	registryMu.RLock()
 	f, ok := registry[strings.ToLower(name)]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("repl: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
 	}
@@ -90,6 +103,8 @@ func MustNew(name string, sets, ways int) Policy {
 
 // Names returns the sorted registered policy names.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)

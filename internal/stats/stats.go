@@ -150,20 +150,61 @@ func (h *Histogram) Buckets() ([]string, []uint64) {
 	return labels, append([]uint64(nil), h.counts...)
 }
 
+// histogramJSON is the histogram's JSON form. The labelled bucket map and
+// derived mean serve external tooling; bounds/counts/sum/max carry the exact
+// internal state so a histogram round-trips losslessly (the experiment
+// result cache depends on this).
+type histogramJSON struct {
+	Total   uint64            `json:"total"`
+	Mean    float64           `json:"mean"`
+	Max     uint64            `json:"max"`
+	Sum     uint64            `json:"sum"`
+	Bounds  []uint64          `json:"bounds"`
+	Counts  []uint64          `json:"counts"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
 // MarshalJSON renders the histogram as buckets plus aggregates, so Results
-// serialize cleanly for external tooling.
+// serialize cleanly for external tooling, and includes the exact bucket
+// bounds and counts so UnmarshalJSON can reconstruct the histogram.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
 	labels, counts := h.Buckets()
 	buckets := make(map[string]uint64, len(labels))
 	for i, l := range labels {
 		buckets[l] = counts[i]
 	}
-	return json.Marshal(struct {
-		Total   uint64            `json:"total"`
-		Mean    float64           `json:"mean"`
-		Max     uint64            `json:"max"`
-		Buckets map[string]uint64 `json:"buckets"`
-	}{h.Total(), h.Mean(), h.Max(), buckets})
+	return json.Marshal(histogramJSON{
+		Total:   h.Total(),
+		Mean:    h.Mean(),
+		Max:     h.Max(),
+		Sum:     h.Sum(),
+		Bounds:  append([]uint64(nil), h.bounds...),
+		Counts:  counts,
+		Buckets: buckets,
+	})
+}
+
+// UnmarshalJSON reconstructs a histogram serialized by MarshalJSON. It is
+// the exact inverse: bounds, per-bucket counts, totals, sum and max are all
+// restored bit-for-bit.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if len(v.Bounds) == 0 {
+		return fmt.Errorf("stats: histogram JSON has no bounds")
+	}
+	if len(v.Counts) != len(v.Bounds)+1 {
+		return fmt.Errorf("stats: histogram JSON has %d counts for %d bounds",
+			len(v.Counts), len(v.Bounds))
+	}
+	h.bounds = append([]uint64(nil), v.Bounds...)
+	h.counts = append([]uint64(nil), v.Counts...)
+	h.total = v.Total
+	h.sum = v.Sum
+	h.max = v.Max
+	return nil
 }
 
 // Reset clears all samples.

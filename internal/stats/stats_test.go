@@ -196,6 +196,55 @@ func TestHistogramJSON(t *testing.T) {
 	}
 }
 
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(10, 50, 200)
+	for _, v := range []uint64{3, 11, 49, 50, 51, 1000, 0} {
+		h.Add(v)
+	}
+	out, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() || back.Sum() != h.Sum() || back.Max() != h.Max() {
+		t.Errorf("aggregates: got (%d,%d,%d), want (%d,%d,%d)",
+			back.Total(), back.Sum(), back.Max(), h.Total(), h.Sum(), h.Max())
+	}
+	if back.Mean() != h.Mean() {
+		t.Errorf("mean %v != %v", back.Mean(), h.Mean())
+	}
+	for _, b := range []uint64{10, 50, 200} {
+		if back.FractionAtMost(b) != h.FractionAtMost(b) {
+			t.Errorf("FractionAtMost(%d): %v != %v", b, back.FractionAtMost(b), h.FractionAtMost(b))
+		}
+	}
+	// The round-tripped histogram must re-serialize identically — the
+	// experiment disk cache depends on lossless decode.
+	out2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Errorf("re-marshal differs:\n%s\n%s", out, out2)
+	}
+}
+
+func TestHistogramJSONRejectsMalformed(t *testing.T) {
+	var h Histogram
+	for _, bad := range []string{
+		`{"bounds":[],"counts":[]}`,
+		`{"bounds":[10],"counts":[1,2,3]}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("malformed %q accepted", bad)
+		}
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tb := NewTable("name", "value")
 	tb.AddRow("plain", "1")
