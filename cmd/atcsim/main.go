@@ -27,8 +27,6 @@ import (
 	"strings"
 
 	"atcsim"
-	"atcsim/internal/cpu"
-	"atcsim/internal/mem"
 	"atcsim/internal/telemetry"
 )
 
@@ -249,35 +247,7 @@ func flushTelemetry(hub *telemetry.Hub, hbFile *os.File, traceOut string) {
 }
 
 func report(res *atcsim.Result) {
-	for i := range res.Cores {
-		c := &res.Cores[i]
-		fmt.Printf("core %d (%s): IPC %.4f over %d cycles\n", i, c.Workload, c.IPC, c.Cycles)
-		fmt.Printf("  STLB MPKI %.2f (misses %d), DTLB MPKI %.2f\n",
-			c.STLBMPKI(), c.MMU.STLBMisses,
-			1000*float64(c.MMU.DTLBMisses)/float64(c.Instructions))
-		fmt.Printf("  ROB head stalls: translation %d, replay %d, non-replay %d cycles\n",
-			c.CPU.StallCycles[cpu.StallTranslation],
-			c.CPU.StallCycles[cpu.StallReplay],
-			c.CPU.StallCycles[cpu.StallNonReplay])
-		ls := &c.Walker.LeafService
-		fmt.Printf("  leaf translations serviced: L1D %.1f%%  L2C %.1f%%  LLC %.1f%%  DRAM %.1f%%\n",
-			100*ls.Fraction(mem.LvlL1D), 100*ls.Fraction(mem.LvlL2),
-			100*ls.Fraction(mem.LvlLLC), 100*ls.Fraction(mem.LvlDRAM))
-		rs := &c.ReplayService
-		if rs.Total() > 0 {
-			fmt.Printf("  replay loads serviced:      L1D %.1f%%  L2C %.1f%%  LLC %.1f%%  DRAM %.1f%%\n",
-				100*rs.Fraction(mem.LvlL1D), 100*rs.Fraction(mem.LvlL2),
-				100*rs.Fraction(mem.LvlLLC), 100*rs.Fraction(mem.LvlDRAM))
-		}
-	}
-	fmt.Printf("caches (MPKI): L1D %.2f | L2 %.2f | LLC %.2f (replay %.2f, leaf-PTE %.2f)\n",
-		res.L1DMPKI(mem.ClassNonReplay)+res.L1DMPKI(mem.ClassReplay),
-		res.L2MPKI(mem.ClassNonReplay)+res.L2MPKI(mem.ClassReplay),
-		res.LLCMPKI(mem.ClassNonReplay)+res.LLCMPKI(mem.ClassReplay),
-		res.LLCMPKI(mem.ClassReplay), res.LLCMPKI(mem.ClassTransLeaf))
-	fmt.Printf("on-chip translation hit rate: %.2f%%\n", 100*res.TranslationHitRate())
-	fmt.Printf("DRAM: %d reads, %d writes, avg read latency %.0f cycles, TEMPO prefetches %d\n",
-		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.AvgReadLatency(), res.DRAM.TEMPOIssued)
+	atcsim.WriteReport(os.Stdout, res)
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,0 +1,67 @@
+package atcsim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// TestGoldenReports runs one small seeded workload per benchmark family
+// (SPEC CPU2017, PARSEC, Ligra) through the full machine at the paper's
+// TEMPO enhancement level with invariant auditing enabled, and compares the
+// complete stats report byte-for-byte against testdata/golden/. Any
+// unintended change to timing, stats plumbing or report formatting shows up
+// as a golden diff; intended changes re-snapshot with `go test -update`.
+func TestGoldenReports(t *testing.T) {
+	families := []struct {
+		family, workload string
+	}{
+		{"spec", "xalancbmk"},
+		{"parsec", "canneal"},
+		{"ligra", "pr"},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.workload, func(t *testing.T) {
+			t.Parallel()
+			tr, err := NewTrace(fam.workload, 25_000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Instructions = 20_000
+			cfg.Warmup = 5_000
+			cfg.Apply(TEMPO)
+			cfg.CheckInvariants = true
+			res, err := Run(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			WriteReport(&buf, res)
+
+			path := filepath.Join("testdata", "golden", fam.workload+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -update` to create snapshots)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("report for %s diverged from %s.\ngot:\n%s\nwant:\n%s\n(rerun with -update if the change is intended)",
+					fam.workload, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -315,6 +315,9 @@ func access(req *mem.Request) *repl.Access {
 // Access services a request issued at the given cycle. Writebacks are
 // absorbed (write-allocate) and return immediately.
 func (c *Cache) Access(req *mem.Request, cycle int64) Result {
+	if checksEnabled {
+		checkRequest(req)
+	}
 	line := mem.LineAddr(req.Addr)
 	set := c.setOf(line)
 	cl := req.Class()
@@ -540,9 +543,11 @@ func (c *Cache) fillWith(set int, line mem.Addr, a *repl.Access, req *mem.Reques
 	c.evict(set, way, res.Ready)
 	b := &c.blocks[set*c.ways+way]
 	*b = block{
-		valid:    true,
-		line:     line,
-		dirty:    req.Kind == mem.Store,
+		valid: true,
+		line:  line,
+		// Writeback-allocated lines hold the only copy of the dirty data;
+		// they must leave dirty or the write is lost on eviction.
+		dirty:    req.Kind == mem.Store || req.Kind == mem.Writeback,
 		class:    req.Class(),
 		prefetch: req.Kind == mem.Prefetch,
 		fillAt:   res.Ready,

@@ -1,0 +1,7 @@
+//go:build !atcsim_invariants
+
+package cache
+
+// checksEnabled compiles the per-access request audits out of the hot path.
+// Build with -tags atcsim_invariants to turn them on.
+const checksEnabled = false

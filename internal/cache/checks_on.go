@@ -1,0 +1,8 @@
+//go:build atcsim_invariants
+
+package cache
+
+// checksEnabled compiles the per-access request audits into the access
+// path. Violations panic immediately, pointing at the producer that built
+// the malformed request.
+const checksEnabled = true

@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"fmt"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/repl"
+)
+
+// SetContents returns the lines of the valid blocks in a set, in way order.
+// It is a validation helper: the differential oracle in internal/validate
+// compares set contents after every access, which pins down victim
+// selection exactly without exposing the block array.
+func (c *Cache) SetContents(set int) []mem.Addr {
+	out := make([]mem.Addr, 0, c.ways)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if b := &c.blocks[base+w]; b.valid {
+			out = append(out, b.line)
+		}
+	}
+	return out
+}
+
+// CheckInvariants audits the structural state of the cache:
+//
+//   - no two valid blocks in a set hold the same line (a duplicate tag would
+//     make hits non-deterministic and double-count capacity),
+//   - every valid block lives in the set its line maps to,
+//   - MSHR occupancy never exceeds the configured entry count,
+//   - the replacement policy's own invariants hold (when it implements
+//     repl.Checker).
+//
+// It returns a descriptive error on the first violation. The simulation
+// loop calls this periodically when invariant checking is enabled (see
+// system.Config.CheckInvariants and the atcsim_invariants build tag).
+func (c *Cache) CheckInvariants() error {
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		for w := 0; w < c.ways; w++ {
+			b := &c.blocks[base+w]
+			if !b.valid {
+				continue
+			}
+			if got := c.setOf(b.line); got != set {
+				return fmt.Errorf("cache %s: block line %#x stored in set %d but maps to set %d",
+					c.cfg.Name, b.line, set, got)
+			}
+			for w2 := w + 1; w2 < c.ways; w2++ {
+				if b2 := &c.blocks[base+w2]; b2.valid && b2.line == b.line {
+					return fmt.Errorf("cache %s: duplicate tag %#x in set %d (ways %d and %d)",
+						c.cfg.Name, b.line, set, w, w2)
+				}
+			}
+		}
+	}
+	if len(c.mshr) > c.cfg.MSHRs {
+		return fmt.Errorf("cache %s: MSHR occupancy %d exceeds %d entries",
+			c.cfg.Name, len(c.mshr), c.cfg.MSHRs)
+	}
+	if ch, ok := c.policy.(repl.Checker); ok {
+		if err := ch.CheckInvariants(); err != nil {
+			return fmt.Errorf("cache %s: %w", c.cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// checkRequest audits the taxonomy flags of an incoming request. These are
+// producer-side invariants of the walker and engine: a replay-target on a
+// non-leaf read, or a replay flag on a non-demand kind, would silently
+// corrupt the class statistics and the translation-conscious policies. Only
+// compiled into the access path under the atcsim_invariants build tag.
+func checkRequest(req *mem.Request) {
+	if req.ReplayTarget != 0 && !req.IsLeaf() {
+		panic(fmt.Sprintf("cache: request %#x kind %v carries a replay target but is not a leaf translation",
+			req.Addr, req.Kind))
+	}
+	if req.IsReplay && req.Kind != mem.Load && req.Kind != mem.Store && req.Kind != mem.IFetch {
+		panic(fmt.Sprintf("cache: request %#x kind %v marked replay but is not a demand access",
+			req.Addr, req.Kind))
+	}
+	if req.Kind == mem.Translation {
+		if req.Level < 1 || req.Level > mem.PTLevels {
+			panic(fmt.Sprintf("cache: translation request %#x has level %d outside [1,%d]",
+				req.Addr, req.Level, mem.PTLevels))
+		}
+		if req.Leaf && req.Level > 2 {
+			panic(fmt.Sprintf("cache: translation request %#x marked leaf at level %d",
+				req.Addr, req.Level))
+		}
+	} else if req.Level != 0 || req.Leaf {
+		panic(fmt.Sprintf("cache: non-translation request %#x kind %v carries walker state (level %d leaf %v)",
+			req.Addr, req.Kind, req.Level, req.Leaf))
+	}
+}

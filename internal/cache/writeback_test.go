@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+
+	"atcsim/internal/mem"
+)
+
+// TestWritebackAllocatedLineStaysDirty is the minimized regression for a
+// divergence the differential oracle (internal/validate) surfaced: a
+// writeback that missed allocated its line CLEAN, so a later eviction
+// silently dropped the only copy of the dirty data instead of writing it to
+// the level below.
+func TestWritebackAllocatedLineStaysDirty(t *testing.T) {
+	lower := &fakeLower{latency: 10}
+	// Direct-mapped single-set cache: the second line must displace the first.
+	c := small(t, Config{SizeBytes: mem.LineSize, Ways: 1, Policy: "lru"}, lower)
+
+	victim := mem.Addr(0xA000)
+	c.Access(&mem.Request{Addr: victim, Kind: mem.Writeback}, 10)
+	// Load a conflicting line well after the fill completes.
+	c.Access(loadReq(0xB000), 1000)
+
+	found := false
+	for _, wb := range lower.writebacks {
+		if mem.LineAddr(wb) == mem.LineAddr(victim) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("evicting a writeback-allocated line dropped the dirty data: lower saw writebacks %#x", lower.writebacks)
+	}
+}

@@ -1,0 +1,47 @@
+package dram
+
+import "fmt"
+
+// checkSlots audits a slotter: no time bucket may hold more bookings than
+// its capacity. Over-booking would mean two requests were granted the same
+// service slot — the bank/bus non-overlap property the order-insensitive
+// booking scheme exists to provide.
+func (s *slotter) checkSlots(what string) error {
+	for b, n := range s.used {
+		if n > s.cap {
+			return fmt.Errorf("dram %s: bucket %d booked %d times, capacity %d", what, b, n, s.cap)
+		}
+		if n < 0 {
+			return fmt.Errorf("dram %s: bucket %d has negative occupancy %d", what, b, n)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants audits one channel: data-bus and per-bank service slots
+// never overbooked, and every open row id is a valid row (or -1 for closed).
+func (c *Channel) CheckInvariants() error {
+	if err := c.bus.checkSlots("bus"); err != nil {
+		return err
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.row < -1 {
+			return fmt.Errorf("dram bank %d: invalid open row %d", i, b.row)
+		}
+		if err := b.service.checkSlots(fmt.Sprintf("bank %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants audits every channel of the controller.
+func (ctl *Controller) CheckInvariants() error {
+	for i, ch := range ctl.channels {
+		if err := ch.CheckInvariants(); err != nil {
+			return fmt.Errorf("channel %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package ptw
+
+import "fmt"
+
+// CheckInvariants audits the walker: the in-flight walk count must never
+// exceed the configured number of hardware page walkers, and the
+// paging-structure caches must hold their capacity bounds.
+func (w *Walker) CheckInvariants() error {
+	if len(w.slots) > w.maxSlot {
+		return fmt.Errorf("ptw: %d walks in flight, walker has %d slots", len(w.slots), w.maxSlot)
+	}
+	return w.psc.CheckInvariants()
+}
+
+// CheckInvariants audits the MMU's TLBs and walker.
+func (m *MMU) CheckInvariants() error {
+	if err := m.DTLB.CheckInvariants(); err != nil {
+		return err
+	}
+	if m.ITLB != m.DTLB {
+		if err := m.ITLB.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if err := m.STLB.CheckInvariants(); err != nil {
+		return err
+	}
+	return m.W.CheckInvariants()
+}

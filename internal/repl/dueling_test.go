@@ -1,0 +1,263 @@
+package repl
+
+import (
+	"testing"
+
+	"atcsim/internal/mem"
+)
+
+func demandAccess(ip mem.Addr) *Access {
+	return &Access{IP: ip, Line: mem.Addr(ip) >> 2, Class: mem.ClassNonReplay, Kind: mem.Load}
+}
+
+// TestDRRIPLeaderAssignment pins the set-dueling monitor layout: every 32nd
+// set leads for SRRIP, the set 16 past it leads for BRRIP, everything else
+// follows the PSEL.
+func TestDRRIPLeaderAssignment(t *testing.T) {
+	p := newDRRIP(128, 4, drripOpts{})
+	cases := []struct {
+		set          int
+		srrip, brrip bool
+	}{
+		{0, true, false},
+		{32, true, false},
+		{96, true, false},
+		{16, false, true},
+		{48, false, true},
+		{112, false, true},
+		{1, false, false},
+		{15, false, false},
+		{17, false, false},
+		{31, false, false},
+		{33, false, false},
+		{127, false, false},
+	}
+	for _, tc := range cases {
+		sl, bl := p.leader(tc.set)
+		if sl != tc.srrip || bl != tc.brrip {
+			t.Errorf("leader(%d) = (%v, %v), want (%v, %v)", tc.set, sl, bl, tc.srrip, tc.brrip)
+		}
+	}
+}
+
+// TestDRRIPPSELSaturation drives misses into one leader family at a time
+// and checks the PSEL saturates at its bounds instead of wrapping.
+func TestDRRIPPSELSaturation(t *testing.T) {
+	const sets, ways = 64, 4
+	p := newDRRIP(sets, ways, drripOpts{})
+	if p.psel != pselInit {
+		t.Fatalf("initial PSEL = %d, want %d", p.psel, pselInit)
+	}
+	// Misses in SRRIP leader set 0 vote for BRRIP: PSEL rises, then pins.
+	for i := 0; i < 3*pselMax; i++ {
+		p.Insert(0, i%ways, demandAccess(0x400000))
+		if p.psel > pselMax {
+			t.Fatalf("PSEL overflowed to %d after %d SRRIP-leader misses", p.psel, i+1)
+		}
+	}
+	if p.psel != pselMax {
+		t.Errorf("PSEL = %d after saturating up, want %d", p.psel, pselMax)
+	}
+	// Misses in BRRIP leader set 16 drain it to zero, never below.
+	for i := 0; i < 3*pselMax; i++ {
+		p.Insert(16, i%ways, demandAccess(0x400000))
+		if p.psel < 0 {
+			t.Fatalf("PSEL underflowed to %d after %d BRRIP-leader misses", p.psel, i+1)
+		}
+	}
+	if p.psel != 0 {
+		t.Errorf("PSEL = %d after saturating down, want 0", p.psel)
+	}
+}
+
+// TestDRRIPPSELVoting pins which fills move the duel: leader-set demand and
+// translation fills vote; follower-set fills, prefetches and writebacks do
+// not.
+func TestDRRIPPSELVoting(t *testing.T) {
+	const sets, ways = 64, 4
+	cases := []struct {
+		name  string
+		set   int
+		a     *Access
+		delta int
+	}{
+		{"srrip-leader-load", 0, demandAccess(0x400000), +1},
+		{"brrip-leader-load", 16, demandAccess(0x400000), -1},
+		{"follower-load", 1, demandAccess(0x400000), 0},
+		{"srrip-leader-translation", 0,
+			&Access{IP: 0x400000, Class: mem.ClassTransLeaf, Kind: mem.Translation}, +1},
+		{"srrip-leader-prefetch", 0,
+			&Access{IP: 0x400000, Class: mem.ClassPrefetch, Kind: mem.Prefetch}, 0},
+		{"srrip-leader-writeback", 0,
+			&Access{Class: mem.ClassWriteback, Kind: mem.Writeback}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newDRRIP(sets, ways, drripOpts{})
+			p.Insert(tc.set, 0, tc.a)
+			if got := p.psel - pselInit; got != tc.delta {
+				t.Errorf("PSEL moved %+d, want %+d", got, tc.delta)
+			}
+		})
+	}
+}
+
+// TestDRRIPInsertionSteering pins how the PSEL and the leader override pick
+// the insertion policy: followers obey the duel's verdict, leader sets
+// always use their own family.
+func TestDRRIPInsertionSteering(t *testing.T) {
+	const sets, ways = 64, 4
+	cases := []struct {
+		name string
+		psel int
+		set  int
+		want uint8
+	}{
+		// PSEL below threshold: SRRIP wins, followers insert long.
+		{"follower-srrip-verdict", 0, 1, rripLong},
+		// PSEL at/above threshold: BRRIP wins, followers insert distant
+		// (the 1/32 long-throttle has not fired on the first fill).
+		{"follower-brrip-verdict", pselMax, 1, rripMax},
+		// Leader sets ignore the verdict.
+		{"srrip-leader-ignores-brrip-verdict", pselMax, 0, rripLong},
+		{"brrip-leader-ignores-srrip-verdict", 0, 16, rripMax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newDRRIP(sets, ways, drripOpts{})
+			p.psel = tc.psel
+			p.Insert(tc.set, 0, demandAccess(0x400000))
+			if got := p.rrpv[tc.set*ways+0]; got != tc.want {
+				t.Errorf("inserted at RRPV %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBRRIPThrottle pins the deterministic 1-in-32 long insertion.
+func TestBRRIPThrottle(t *testing.T) {
+	const sets, ways = 4, 4
+	p := newBRRIP(sets, ways)
+	long := 0
+	for i := 0; i < 64; i++ {
+		p.Insert(0, i%ways, demandAccess(0x400000))
+		if p.rrpv[i%ways] == rripLong {
+			long++
+		}
+	}
+	if long != 2 {
+		t.Errorf("%d long insertions in 64 fills, want 2 (1/32)", long)
+	}
+}
+
+// TestTDRRIPClassOverrides pins the translation-conscious insertion and
+// promotion rules layered on the duel.
+func TestTDRRIPClassOverrides(t *testing.T) {
+	const sets, ways = 64, 4
+	trans := &Access{IP: 0x400000, Class: mem.ClassTransLeaf, Kind: mem.Translation}
+	replay := &Access{IP: 0x400000, Class: mem.ClassReplay, Kind: mem.Load}
+
+	t.Run("t-drrip", func(t *testing.T) {
+		p := newDRRIP(sets, ways, drripOpts{transMRU: true, replayDistant: true})
+		p.Insert(1, 0, trans)
+		if got := p.rrpv[1*ways+0]; got != 0 {
+			t.Errorf("leaf translation inserted at RRPV %d, want 0 (pinned MRU)", got)
+		}
+		p.Insert(1, 1, replay)
+		if got := p.rrpv[1*ways+1]; got != rripMax {
+			t.Errorf("replay inserted at RRPV %d, want %d (dead-on-fill)", got, rripMax)
+		}
+		// A replay hit demotes instead of promoting: the block is dead after
+		// its single use.
+		p.Hit(1, 1, replay)
+		if got := p.rrpv[1*ways+1]; got != rripMax {
+			t.Errorf("replay hit left RRPV %d, want %d", got, rripMax)
+		}
+		p.Hit(1, 0, trans)
+		if got := p.rrpv[1*ways+0]; got != 0 {
+			t.Errorf("translation hit left RRPV %d, want 0", got)
+		}
+	})
+	t.Run("drrip-replay0-misconfig", func(t *testing.T) {
+		p := newDRRIP(sets, ways, drripOpts{transMRU: true, replayMRU: true})
+		p.Insert(1, 0, replay)
+		if got := p.rrpv[1*ways+0]; got != 0 {
+			t.Errorf("replay inserted at RRPV %d, want 0 under replayMRU", got)
+		}
+	})
+}
+
+// TestSHiPSHCTSaturationAndDecay pins the 3-bit signature counters: they
+// train up once per resident block, saturate at shctMax, decay on
+// unreferenced eviction, floor at zero — and a zero counter predicts
+// dead-on-arrival (distant insertion).
+func TestSHiPSHCTSaturationAndDecay(t *testing.T) {
+	const sets, ways = 4, 4
+	p := newSHiP(sets, ways, shipOpts{})
+	a := demandAccess(0x400000)
+
+	if got := p.shctCounter(a); got != shctInit {
+		t.Fatalf("initial counter = %d, want %d", got, shctInit)
+	}
+
+	// Repeated hits on ONE resident block train the counter only once.
+	p.Insert(0, 0, a)
+	for i := 0; i < 10; i++ {
+		p.Hit(0, 0, a)
+	}
+	if got := p.shctCounter(a); got != shctInit+1 {
+		t.Errorf("counter = %d after repeated hits on one fill, want %d (single train)", got, shctInit+1)
+	}
+
+	// Fill/hit cycles saturate at shctMax and stay there.
+	for i := 0; i < 20; i++ {
+		p.Insert(0, 0, a)
+		p.Hit(0, 0, a)
+	}
+	if got := p.shctCounter(a); got != shctMax {
+		t.Errorf("counter = %d after saturation, want %d", got, shctMax)
+	}
+
+	// Unreferenced evictions decay to zero and floor there.
+	for i := 0; i < 20; i++ {
+		p.Insert(0, 0, a)
+		p.Evicted(0, 0)
+	}
+	if got := p.shctCounter(a); got != 0 {
+		t.Errorf("counter = %d after repeated dead evictions, want 0", got)
+	}
+
+	// Zero counter: the next fill with that signature inserts distant.
+	p.Insert(0, 1, a)
+	if got := p.rrpv[0*ways+1]; got != rripMax {
+		t.Errorf("predicted-dead fill inserted at RRPV %d, want %d", got, rripMax)
+	}
+
+	// A referenced eviction does not decay (the block repaid its fill).
+	p.Insert(0, 2, a)
+	p.Hit(0, 2, a) // counter: 0 -> 1
+	before := p.shctCounter(a)
+	p.Evicted(0, 2)
+	if got := p.shctCounter(a); got != before {
+		t.Errorf("counter = %d after reused eviction, want unchanged %d", got, before)
+	}
+}
+
+// TestSHiPWritebackFillsUntrained pins that IP-less writeback fills neither
+// train the SHCT nor occupy a useful insertion slot.
+func TestSHiPWritebackFillsUntrained(t *testing.T) {
+	const sets, ways = 4, 4
+	p := newSHiP(sets, ways, shipOpts{})
+	wb := &Access{Class: mem.ClassWriteback, Kind: mem.Writeback}
+	p.Insert(0, 0, wb)
+	if got := p.rrpv[0]; got != rripMax {
+		t.Errorf("writeback inserted at RRPV %d, want %d", got, rripMax)
+	}
+	// Evicting it untouched must not decay any signature's counter (it was
+	// never trained).
+	snapshot := p.shctCounter(demandAccess(0))
+	p.Evicted(0, 0)
+	if got := p.shctCounter(demandAccess(0)); got != snapshot {
+		t.Errorf("untrained eviction moved a counter: %d -> %d", snapshot, got)
+	}
+}

@@ -1,0 +1,87 @@
+package repl
+
+import "fmt"
+
+// Checker is implemented by policies that can audit their own internal
+// state. The cache's CheckInvariants delegates to it, so a policy whose
+// metadata drifts out of its documented range (a saturating counter
+// overflowing, an RRPV above the maximum) is caught during validation runs
+// instead of silently skewing victim selection.
+type Checker interface {
+	// CheckInvariants returns a descriptive error when any internal
+	// invariant is violated, nil otherwise. It must not mutate state.
+	CheckInvariants() error
+}
+
+// checkRRPV audits a shared RRIP array against its maximum value.
+func (r *rripBase) checkRRPV(name string, max uint8) error {
+	for i, v := range r.rrpv {
+		if v > max {
+			return fmt.Errorf("repl %s: rrpv[%d]=%d exceeds max %d", name, i, v, max)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants audits the SRRIP RRPV array.
+func (p *srrip) CheckInvariants() error { return p.checkRRPV(p.Name(), rripMax) }
+
+// CheckInvariants audits the BRRIP RRPV array.
+func (p *brrip) CheckInvariants() error { return p.checkRRPV(p.Name(), rripMax) }
+
+// CheckInvariants audits the DRRIP set-dueling state: the PSEL counter must
+// stay inside its 10-bit saturating range and every RRPV inside 2 bits.
+func (p *drrip) CheckInvariants() error {
+	if p.psel < 0 || p.psel > pselMax {
+		return fmt.Errorf("repl %s: PSEL %d outside [0, %d]", p.Name(), p.psel, pselMax)
+	}
+	return p.checkRRPV(p.Name(), rripMax)
+}
+
+// CheckInvariants audits SHiP: every SHCT counter within its 3-bit range,
+// every RRPV within 2 bits, and no untrained block marked reused.
+func (p *ship) CheckInvariants() error {
+	for i, v := range p.shct {
+		if v > shctMax {
+			return fmt.Errorf("repl %s: SHCT[%d]=%d exceeds max %d", p.Name(), i, v, shctMax)
+		}
+	}
+	for i, reused := range p.reused {
+		if reused && !p.trained[i] {
+			return fmt.Errorf("repl %s: block %d reused but not trained", p.Name(), i)
+		}
+	}
+	return p.checkRRPV(p.Name(), rripMax)
+}
+
+// CheckInvariants audits Hawkeye: predictor counters within 3 bits, RRPVs
+// within 3 bits, and OPTgen occupancy never above associativity.
+func (p *hawkeye) CheckInvariants() error {
+	for i, v := range p.pred {
+		if v > hawkPredMax {
+			return fmt.Errorf("repl %s: predictor[%d]=%d exceeds max %d", p.Name(), i, v, hawkPredMax)
+		}
+	}
+	for i, v := range p.rrpv {
+		if v > hawkMaxRRPV {
+			return fmt.Errorf("repl %s: rrpv[%d]=%d exceeds max %d", p.Name(), i, v, hawkMaxRRPV)
+		}
+	}
+	for set, s := range p.samples {
+		for q, occ := range s.occ {
+			if occ > uint16(p.ways) {
+				return fmt.Errorf("repl %s: OPTgen set %d quantum slot %d occupancy %d exceeds ways %d",
+					p.Name(), set, q, occ, p.ways)
+			}
+		}
+	}
+	return nil
+}
+
+var (
+	_ Checker = (*srrip)(nil)
+	_ Checker = (*brrip)(nil)
+	_ Checker = (*drrip)(nil)
+	_ Checker = (*ship)(nil)
+	_ Checker = (*hawkeye)(nil)
+)

@@ -1,0 +1,8 @@
+//go:build !atcsim_invariants
+
+package system
+
+// invariantsDefault leaves periodic invariant auditing off unless a run
+// opts in via Config.CheckInvariants. Build with -tags atcsim_invariants to
+// audit every run (CI's differential job does).
+const invariantsDefault = false

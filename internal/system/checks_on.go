@@ -1,0 +1,7 @@
+//go:build atcsim_invariants
+
+package system
+
+// invariantsDefault audits every run when the binary is built with
+// -tags atcsim_invariants, regardless of Config.CheckInvariants.
+const invariantsDefault = true

@@ -115,6 +115,16 @@ type Config struct {
 	// technique.
 	HugePages bool
 
+	// CheckInvariants audits the structural invariants of every model
+	// (duplicate cache tags, MSHR occupancy, policy counter ranges, TLB
+	// duplicates, DRAM slot overbooking) periodically during the run and
+	// once at the end. A violation panics with a description — this is a
+	// validation trap for the differential harness and debugging, not a
+	// recoverable condition. Building with -tags atcsim_invariants forces
+	// it on for every run and additionally compiles per-access request
+	// audits into the cache path.
+	CheckInvariants bool
+
 	// Telemetry, when non-nil, attaches the observability layer (sampled
 	// request-lifecycle tracer, interval heartbeat, progress counters) to
 	// the run. Telemetry is a pure observer: simulated timing is

@@ -1,0 +1,36 @@
+package system
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+)
+
+// checkStride is how many instructions elapse between periodic invariant
+// audits. Audits scan every set of every cache, so they are far too
+// expensive per instruction; a stride catches corruption within a bounded
+// window while keeping validated runs usable.
+const checkStride = 8192
+
+// auditInvariants walks every model and panics on the first violated
+// invariant. Called periodically from the phase loop and once at the end of
+// the run when invariant checking is enabled.
+func (s *sim) auditInvariants() {
+	fail := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("atcsim: invariant violation: %v", err))
+		}
+	}
+	seen := map[*cache.Cache]bool{}
+	for _, c := range s.cores {
+		fail(c.mmu.CheckInvariants())
+		for _, ca := range []*cache.Cache{c.l1i, c.l1d, c.l2} {
+			if !seen[ca] {
+				fail(ca.CheckInvariants())
+				seen[ca] = true
+			}
+		}
+	}
+	fail(s.llc.CheckInvariants())
+	fail(s.channel.CheckInvariants())
+}

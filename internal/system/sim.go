@@ -57,6 +57,12 @@ type sim struct {
 	measuring bool
 	stepped   uint64 // measured instructions stepped (all cores)
 	ticked    uint64 // stepped count at the last heartbeat tick
+
+	// Invariant auditing (Config.CheckInvariants or the atcsim_invariants
+	// build tag): every checkStride instructions the structural state of
+	// all models is validated; violations panic.
+	checking bool
+	checkCtr int
 }
 
 // Run simulates a single-core machine over one trace.
@@ -139,6 +145,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 	}
 
 	s := &sim{cfg: cfg, llc: llc, channel: channel}
+	s.checking = cfg.CheckInvariants || invariantsDefault
 
 	var sharedL1I, sharedL1D *cache.Cache
 	var sharedL2 *cache.Cache
@@ -403,6 +410,12 @@ func (s *sim) phase(target int) {
 		}
 		s.step(pick)
 		pick.phaseCount++
+		if s.checking {
+			if s.checkCtr++; s.checkCtr >= checkStride {
+				s.checkCtr = 0
+				s.auditInvariants()
+			}
+		}
 		if s.measuring {
 			s.stepped++
 			if s.hb != nil && s.stepped%s.hbEvery == 0 {
@@ -515,6 +528,9 @@ func (s *sim) run() *Result {
 	}
 	if s.progress != nil {
 		s.progress.Set(s.stepped)
+	}
+	if s.checking {
+		s.auditInvariants()
 	}
 	return s.collect()
 }

@@ -1,0 +1,52 @@
+package tlb
+
+import "fmt"
+
+// CheckInvariants audits the TLB's structural state: no two valid entries in
+// a set map the same virtual page, every valid entry lives in the set its
+// VPN indexes, and the 2MB-page array never exceeds its configured capacity.
+// It returns a descriptive error on the first violation.
+func (t *TLB) CheckInvariants() error {
+	for set := 0; set < t.sets; set++ {
+		base := set * t.ways
+		for w := 0; w < t.ways; w++ {
+			e := &t.ents[base+w]
+			if !e.valid {
+				continue
+			}
+			if got := t.setOf(e.vpn); got != set {
+				return fmt.Errorf("tlb %s: vpn %#x stored in set %d but maps to set %d",
+					t.cfg.Name, e.vpn, set, got)
+			}
+			for w2 := w + 1; w2 < t.ways; w2++ {
+				if e2 := &t.ents[base+w2]; e2.valid && e2.vpn == e.vpn {
+					return fmt.Errorf("tlb %s: duplicate vpn %#x in set %d (ways %d and %d)",
+						t.cfg.Name, e.vpn, set, w, w2)
+				}
+			}
+			if e.stamp > t.clock {
+				return fmt.Errorf("tlb %s: entry vpn %#x stamp %d ahead of clock %d",
+					t.cfg.Name, e.vpn, e.stamp, t.clock)
+			}
+		}
+	}
+	if t.cfg.HugeEntries > 0 && len(t.huge) > t.cfg.HugeEntries {
+		return fmt.Errorf("tlb %s: huge array holds %d entries, capacity %d",
+			t.cfg.Name, len(t.huge), t.cfg.HugeEntries)
+	}
+	return nil
+}
+
+// CheckInvariants audits the paging-structure caches: every level stays
+// within its configured capacity.
+func (p *PSC) CheckInvariants() error {
+	for lvl, c := range p.caches {
+		if c == nil {
+			continue
+		}
+		if len(c.ents) > c.cap {
+			return fmt.Errorf("psc level %d: %d entries, capacity %d", lvl, len(c.ents), c.cap)
+		}
+	}
+	return nil
+}

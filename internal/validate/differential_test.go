@@ -1,0 +1,132 @@
+package validate
+
+import (
+	"testing"
+)
+
+// diffStreamLen is the per-stream replay length for the differential suite;
+// the issue's acceptance bar is ≥ 10k requests per seeded stream.
+const diffStreamLen = 12000
+
+func TestDiffCacheLRU(t *testing.T) {
+	t.Parallel()
+	geos := []struct {
+		name       string
+		sets, ways int
+	}{
+		{"16x4", 16, 4},
+		{"64x8", 64, 8},
+		{"fully-assoc-1x32", 1, 32},
+		{"direct-mapped-128x1", 128, 1},
+	}
+	for _, g := range geos {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				ops := Stream(seed, diffStreamLen, g.sets*g.ways)
+				if err := DiffCache(ops, g.sets, g.ways); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffTLB(t *testing.T) {
+	t.Parallel()
+	geos := []struct {
+		name          string
+		entries, ways int
+	}{
+		{"64x4", 64, 4},
+		{"256x8", 256, 8},
+		{"fully-assoc-32x32", 32, 32},
+	}
+	for _, g := range geos {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				if err := DiffTLB(g.entries, g.ways, diffStreamLen, seed); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffWalker(t *testing.T) {
+	t.Parallel()
+	t.Run("4KB", func(t *testing.T) {
+		t.Parallel()
+		if err := DiffWalker(3000, 11, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("2MB", func(t *testing.T) {
+		t.Parallel()
+		if err := DiffWalker(3000, 12, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiffMMU(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 2; seed++ {
+		if err := DiffMMU(diffStreamLen, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestOPTUpperBound replays identical loads-only streams through every
+// registered-for-LLC replacement policy and asserts none beats Belady — the
+// oracle's hit count is an exact upper bound for allocate-on-miss policies.
+func TestOPTUpperBound(t *testing.T) {
+	t.Parallel()
+	const sets, ways = 64, 8
+	policies := []string{"lru", "srrip", "brrip", "drrip", "t-drrip", "ship", "hawkeye"}
+	for seed := int64(1); seed <= 3; seed++ {
+		ops := LoadStream(seed, diffStreamLen, sets*ways)
+		opt := OPTHits(Lines(ops), sets, ways)
+		for _, pol := range policies {
+			hits, err := PolicyHits(pol, ops, sets, ways)
+			if err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, pol, err)
+			}
+			if hits > opt {
+				t.Errorf("seed %d: policy %s got %d hits, exceeding OPT's %d", seed, pol, hits, opt)
+			}
+			t.Logf("seed %d %-8s %6d hits (OPT %d, ratio %.3f)", seed, pol, hits, opt, float64(hits)/float64(opt))
+		}
+	}
+}
+
+// TestHawkeyeTracksOPT pins Hawkeye's learned-from-OPTgen behaviour: on a
+// mixed hot/scan/random stream its hit count must stay within a bounded gap
+// of true OPT — and ahead of plain LRU, which the scan component defeats.
+// The 0.80 floor is empirical (observed 0.92–0.93 across seeds; see
+// DESIGN.md § Validation) with margin for future tuning of the predictor.
+func TestHawkeyeTracksOPT(t *testing.T) {
+	t.Parallel()
+	const sets, ways = 64, 8
+	const floor = 0.80
+	for seed := int64(1); seed <= 3; seed++ {
+		ops := LoadStream(seed, diffStreamLen, sets*ways)
+		opt := OPTHits(Lines(ops), sets, ways)
+		if opt == 0 {
+			t.Fatalf("seed %d: degenerate stream, OPT has no hits", seed)
+		}
+		hawk, err := PolicyHits("hawkeye", ops, sets, ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(hawk) / float64(opt)
+		t.Logf("seed %d: hawkeye %d / OPT %d = %.3f", seed, hawk, opt, ratio)
+		if ratio < floor {
+			t.Errorf("seed %d: hawkeye/OPT ratio %.3f below documented floor %.2f", seed, ratio, floor)
+		}
+	}
+}

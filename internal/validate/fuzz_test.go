@@ -1,0 +1,138 @@
+package validate
+
+import (
+	"testing"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/repl"
+)
+
+// decodeOps turns fuzz bytes into a differential op stream: two bytes per
+// op — a kind selector and a line id from a 64-line universe, small enough
+// that a tiny cache geometry sees constant conflict pressure.
+func decodeOps(data []byte) []Op {
+	const maxOps = 4096
+	ops := make([]Op, 0, len(data)/2)
+	for i := 0; i+1 < len(data) && len(ops) < maxOps; i += 2 {
+		sel, id := data[i], data[i+1]
+		addr := mem.Addr(id&0x3F) << mem.LineBits
+		var o Op
+		switch sel % 8 {
+		case 0, 1, 2, 3:
+			o = Op{Kind: mem.Load, IP: 0x40_0000 + mem.Addr(sel&0x30), Addr: addr}
+		case 4:
+			o = Op{Kind: mem.Store, IP: 0x40_0040, Addr: addr}
+		case 5:
+			o = Op{Kind: mem.Writeback, Addr: addr}
+		case 6:
+			o = Op{
+				Kind: mem.Translation, IP: 0x40_0080, Addr: addr,
+				Level: 1, Leaf: true, ReplayTarget: mem.Addr(id) << mem.LineBits,
+			}
+		default:
+			o = Op{Kind: mem.Translation, IP: 0x40_0080, Addr: addr, Level: 2 + int(sel>>6)%4}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// FuzzCacheDifferential replays arbitrary byte-derived op streams through
+// the real cache and the brute-force LRU oracle on two adversarial
+// geometries. Any divergence — hit/miss, victim, set contents, writeback
+// count — or invariant violation fails the run.
+func FuzzCacheDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 4, 1, 5, 2, 6, 3, 7, 4, 0, 1, 0, 2})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte{5, 0, 0, 1, 5, 0, 0, 2, 0, 3, 0, 0}) // writeback-allocate then conflict
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeOps(data)
+		if len(ops) == 0 {
+			return
+		}
+		if err := DiffCache(ops, 4, 2); err != nil {
+			t.Fatalf("4x2: %v", err)
+		}
+		if err := DiffCache(ops, 1, 8); err != nil {
+			t.Fatalf("fully-assoc 1x8: %v", err)
+		}
+	})
+}
+
+// FuzzReplPolicy drives every registered replacement policy as a bare state
+// machine with a byte-derived access stream, mirroring the cache's calling
+// convention (Victim only on full sets, Evicted before the replacing
+// Insert, Hit only on residents). It asserts victims are in range and
+// respect the evictable predicate, and runs each policy's invariant checker
+// as it goes.
+func FuzzReplPolicy(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 0xFF, 0x80})
+	f.Add([]byte("aaaaaaaabbbbbbbbccccccccdddddddd"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const sets, ways, maxSteps = 4, 4, 4096
+		for _, name := range repl.Names() {
+			p := repl.MustNew(name, sets, ways)
+			// resident[set][way] is the line in that way, 0 = invalid.
+			resident := make([][]mem.Addr, sets)
+			for s := range resident {
+				resident[s] = make([]mem.Addr, ways)
+			}
+			steps := 0
+			for i := 0; i+1 < len(data) && steps < maxSteps; i, steps = i+2, steps+1 {
+				sel, id := data[i], data[i+1]
+				line := mem.Addr(id&0x1F) + 1 // 32 lines, never 0
+				set := int(uint64(line) % sets)
+				a := &repl.Access{
+					IP:      0x40_0000 + mem.Addr(sel&0x0C),
+					Line:    line,
+					Class:   mem.Class(int(sel>>4) % int(mem.NumClasses)),
+					Kind:    mem.Load,
+					Distant: sel&0x40 != 0,
+				}
+				way := -1
+				for w := 0; w < ways; w++ {
+					if resident[set][w] == line {
+						way = w
+						break
+					}
+				}
+				if way >= 0 {
+					p.Hit(set, way, a)
+					continue
+				}
+				for w := 0; w < ways; w++ {
+					if resident[set][w] == 0 {
+						way = w
+						break
+					}
+				}
+				if way < 0 {
+					// Full set: sel bit 7 masks way 0 as un-evictable
+					// (an in-flight fill), exercising the retry path.
+					evictable := func(w int) bool { return sel&0x80 == 0 || w != 0 }
+					way = p.Victim(set, a, evictable)
+					if way < 0 || way >= ways {
+						t.Fatalf("%s: victim way %d out of range", name, way)
+					}
+					if !evictable(way) {
+						t.Fatalf("%s: victim way %d violates evictable predicate", name, way)
+					}
+					p.Evicted(set, way)
+				}
+				resident[set][way] = line
+				p.Insert(set, way, a)
+
+				if ck, ok := p.(repl.Checker); ok && steps%256 == 0 {
+					if err := ck.CheckInvariants(); err != nil {
+						t.Fatalf("%s after step %d: %v", name, steps, err)
+					}
+				}
+			}
+			if ck, ok := p.(repl.Checker); ok {
+				if err := ck.CheckInvariants(); err != nil {
+					t.Fatalf("%s at end: %v", name, err)
+				}
+			}
+		}
+	})
+}

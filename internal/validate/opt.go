@@ -1,0 +1,86 @@
+package validate
+
+import (
+	"math"
+
+	"atcsim/internal/mem"
+)
+
+// OPTHits returns the number of hits Belady's optimal replacement achieves
+// on the given line-address stream for a sets×ways cache. The oracle sees
+// the full future trace: on every miss in a full set it evicts the resident
+// whose next use lies farthest in the future (never, for lines not
+// referenced again). Like the simulated caches it must allocate on every
+// miss (no bypass), so its hit count is the exact upper bound for every
+// allocate-on-miss policy the simulator implements — LRU, DRRIP, SHiP and
+// Hawkeye can match it but never exceed it.
+//
+// Sets are independent under a set-indexed cache, so the stream is split
+// per set and each set is solved exactly.
+func OPTHits(lines []mem.Addr, sets, ways int) uint64 {
+	perSet := make(map[int][]int, sets)
+	for i, line := range lines {
+		set := int(uint64(line) % uint64(sets))
+		perSet[set] = append(perSet[set], i)
+	}
+	var hits uint64
+	for _, idxs := range perSet {
+		seq := make([]mem.Addr, len(idxs))
+		for j, i := range idxs {
+			seq[j] = lines[i]
+		}
+		hits += optHitsOneSet(seq, ways)
+	}
+	return hits
+}
+
+// optHitsOneSet solves Belady exactly for one set's access sequence.
+func optHitsOneSet(seq []mem.Addr, ways int) uint64 {
+	// next[i] is the position of the next access to seq[i]'s line after i,
+	// or infinity when the line is never referenced again.
+	const inf = math.MaxInt
+	next := make([]int, len(seq))
+	last := make(map[mem.Addr]int, ways*4)
+	for i := len(seq) - 1; i >= 0; i-- {
+		if j, ok := last[seq[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf
+		}
+		last[seq[i]] = i
+	}
+
+	type resident struct {
+		line mem.Addr
+		next int
+	}
+	res := make([]resident, 0, ways)
+	var hits uint64
+	for i, line := range seq {
+		found := -1
+		for j := range res {
+			if res[j].line == line {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			hits++
+			res[found].next = next[i]
+			continue
+		}
+		if len(res) < ways {
+			res = append(res, resident{line: line, next: next[i]})
+			continue
+		}
+		// Evict the resident reused farthest in the future.
+		far := 0
+		for j := 1; j < len(res); j++ {
+			if res[j].next > res[far].next {
+				far = j
+			}
+		}
+		res[far] = resident{line: line, next: next[i]}
+	}
+	return hits
+}

@@ -1,0 +1,125 @@
+package validate
+
+import (
+	"sort"
+
+	"atcsim/internal/mem"
+)
+
+// OracleCache is a brute-force set-associative cache with true-LRU
+// replacement: per-set slices, linear tag search, a global access clock.
+// With sets == 1 it is a fully-associative cache. It models exactly the
+// functional behaviour of internal/cache with the "lru" policy — hit/miss,
+// victim selection, dirty-line writebacks — with none of the timing
+// machinery, so the differential driver can replay one stream through both
+// and compare step by step.
+type OracleCache struct {
+	sets, ways int
+	lines      [][]oline
+	clock      uint64
+	writebacks uint64
+}
+
+type oline struct {
+	line  mem.Addr
+	stamp uint64
+	dirty bool
+}
+
+// OracleOutcome reports what one access did to the oracle.
+type OracleOutcome struct {
+	Hit bool
+	// Evicted is the victim line when the access displaced a resident
+	// block; HasEvict distinguishes eviction from filling an empty way.
+	Evicted   mem.Addr
+	HasEvict  bool
+	Writeback bool // the victim was dirty
+}
+
+// NewOracleCache builds the oracle for a sets×ways geometry (sets must be a
+// power of two to mirror the real index function).
+func NewOracleCache(sets, ways int) *OracleCache {
+	o := &OracleCache{sets: sets, ways: ways, lines: make([][]oline, sets)}
+	for i := range o.lines {
+		o.lines[i] = make([]oline, 0, ways)
+	}
+	return o
+}
+
+func (o *OracleCache) setOf(line mem.Addr) int { return int(uint64(line) % uint64(o.sets)) }
+
+// Access services one demand/translation access to the line containing
+// addr. Stores mark the block dirty. Misses allocate, evicting the
+// least-recently-used resident when the set is full.
+func (o *OracleCache) Access(addr mem.Addr, store bool) OracleOutcome {
+	line := addr >> mem.LineBits
+	set := o.setOf(line)
+	for i := range o.lines[set] {
+		b := &o.lines[set][i]
+		if b.line == line {
+			o.clock++
+			b.stamp = o.clock
+			if store {
+				b.dirty = true
+			}
+			return OracleOutcome{Hit: true}
+		}
+	}
+	out := o.fill(set, line, store)
+	return out
+}
+
+// AbsorbWriteback services a writeback arriving from a level above,
+// mirroring the real cache's write-allocate-without-promotion semantics: a
+// present line is only marked dirty (its LRU stamp is NOT refreshed); an
+// absent line allocates normally and is dirty from birth.
+func (o *OracleCache) AbsorbWriteback(addr mem.Addr) OracleOutcome {
+	line := addr >> mem.LineBits
+	set := o.setOf(line)
+	for i := range o.lines[set] {
+		b := &o.lines[set][i]
+		if b.line == line {
+			b.dirty = true
+			return OracleOutcome{Hit: true}
+		}
+	}
+	return o.fill(set, line, true)
+}
+
+// fill allocates line into set, evicting the true-LRU resident when full.
+func (o *OracleCache) fill(set int, line mem.Addr, dirty bool) OracleOutcome {
+	var out OracleOutcome
+	s := o.lines[set]
+	if len(s) >= o.ways {
+		lru := 0
+		for i := range s {
+			if s[i].stamp < s[lru].stamp {
+				lru = i
+			}
+		}
+		out.HasEvict = true
+		out.Evicted = s[lru].line
+		out.Writeback = s[lru].dirty
+		if out.Writeback {
+			o.writebacks++
+		}
+		s[lru] = s[len(s)-1]
+		s = s[:len(s)-1]
+	}
+	o.clock++
+	o.lines[set] = append(s, oline{line: line, stamp: o.clock, dirty: dirty})
+	return out
+}
+
+// Contents returns the sorted resident lines of a set.
+func (o *OracleCache) Contents(set int) []mem.Addr {
+	out := make([]mem.Addr, 0, len(o.lines[set]))
+	for i := range o.lines[set] {
+		out = append(out, o.lines[set][i].line)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Writebacks returns the number of dirty evictions performed.
+func (o *OracleCache) Writebacks() uint64 { return o.writebacks }

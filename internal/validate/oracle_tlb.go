@@ -1,0 +1,95 @@
+package validate
+
+import (
+	"fmt"
+
+	"atcsim/internal/mem"
+)
+
+// OracleTLB is a linear-scan reference model of a set-associative,
+// LRU-replaced TLB. Entries live in one flat slice; every lookup scans all
+// of them (and verifies no virtual page is mapped twice — the structural
+// corruption a set-indexed implementation could hide). Set geometry only
+// constrains victim selection, exactly as in the real structure.
+type OracleTLB struct {
+	sets, ways int
+	ents       []otlbEnt
+	clock      uint64
+	evictions  uint64
+	corrupt    error
+}
+
+type otlbEnt struct {
+	vpn, frame mem.Addr
+	stamp      uint64
+}
+
+// NewOracleTLB builds the oracle for entries/ways geometry (sets must come
+// out a power of two, mirroring the real TLB's constraint).
+func NewOracleTLB(entries, ways int) *OracleTLB {
+	return &OracleTLB{sets: entries / ways, ways: ways}
+}
+
+func (o *OracleTLB) setOf(vpn mem.Addr) int { return int(uint64(vpn) % uint64(o.sets)) }
+
+// Lookup searches linearly for the translation of va's page; a hit
+// refreshes the entry's LRU stamp.
+func (o *OracleTLB) Lookup(va mem.Addr) (mem.Addr, bool) {
+	vpn := mem.PageNumber(va)
+	found := -1
+	for i := range o.ents {
+		if o.ents[i].vpn == vpn {
+			if found >= 0 {
+				o.corrupt = fmt.Errorf("oracle tlb: vpn %#x present twice", vpn)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	o.clock++
+	o.ents[found].stamp = o.clock
+	return o.ents[found].frame, true
+}
+
+// Insert fills the translation of va's page, refreshing an existing entry
+// or evicting the least-recently-used entry of the page's set when the set
+// is at capacity.
+func (o *OracleTLB) Insert(va, frame mem.Addr) {
+	vpn := mem.PageNumber(va)
+	for i := range o.ents {
+		if o.ents[i].vpn == vpn {
+			o.clock++
+			o.ents[i].frame = frame
+			o.ents[i].stamp = o.clock
+			return
+		}
+	}
+	set := o.setOf(vpn)
+	inSet := 0
+	lru := -1
+	for i := range o.ents {
+		if o.setOf(o.ents[i].vpn) != set {
+			continue
+		}
+		inSet++
+		if lru < 0 || o.ents[i].stamp < o.ents[lru].stamp {
+			lru = i
+		}
+	}
+	if inSet >= o.ways {
+		o.evictions++
+		o.ents[lru] = o.ents[len(o.ents)-1]
+		o.ents = o.ents[:len(o.ents)-1]
+	}
+	o.clock++
+	o.ents = append(o.ents, otlbEnt{vpn: vpn, frame: frame, stamp: o.clock})
+}
+
+// Evictions returns the number of entries displaced at capacity.
+func (o *OracleTLB) Evictions() uint64 { return o.evictions }
+
+// Err reports structural corruption observed during lookups (a duplicate
+// mapping), nil when the oracle stayed consistent.
+func (o *OracleTLB) Err() error { return o.corrupt }

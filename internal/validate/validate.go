@@ -1,0 +1,161 @@
+// Package validate is the differential-validation harness for the memory
+// hierarchy: executable reference oracles (a brute-force true-LRU cache, a
+// Belady/OPT oracle computed from the full future trace, a linear-scan TLB
+// and a naive radix page walker) plus drivers that replay identical seeded
+// request streams through the real internal/cache, internal/repl,
+// internal/tlb and internal/ptw models and through the oracles, asserting
+// that hit/miss sequences, eviction victims and translation results match.
+//
+// The oracles are deliberately naive — linear scans, full-history
+// structures, no sampling — so that their correctness is evident by
+// inspection. Any divergence from the optimized models is a bug in the
+// model (or, once, in the oracle; either way it is a bug worth a regression
+// test). The harness is exercised by this package's tests, by the fuzz
+// targets in fuzz_test.go, and by CI's differential job, so every future
+// change to the hot paths gets this net for free.
+package validate
+
+import (
+	"atcsim/internal/mem"
+)
+
+// rng is a splitmix64 generator: tiny, deterministic, and independent of
+// the workload package's generator so the harness shares no code with what
+// it validates.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng {
+	// Scramble the seed through the output finalizer: consecutive raw seeds
+	// differ by exactly the golden-ratio increment, which would otherwise
+	// make seed k+1's stream equal seed k's shifted by one draw.
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return &rng{s: z ^ (z >> 31)}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Op is one request of a differential stream, the harness's neutral request
+// representation (convertible to a mem.Request, replayable against an
+// oracle).
+type Op struct {
+	Kind mem.Kind
+	Addr mem.Addr // physical byte address (cache streams)
+	IP   mem.Addr
+
+	// Walker state for Translation ops.
+	Level        int
+	Leaf         bool
+	ReplayTarget mem.Addr
+}
+
+// request converts the op to the request the real hierarchy consumes.
+func (o Op) request(core int) *mem.Request {
+	return &mem.Request{
+		Addr:         o.Addr,
+		IP:           o.IP,
+		Kind:         o.Kind,
+		Level:        o.Level,
+		Leaf:         o.Leaf,
+		ReplayTarget: o.ReplayTarget,
+		Core:         core,
+	}
+}
+
+// Stream synthesizes a seeded cache request stream of n ops with the access
+// structure replacement policies care about: a cache-friendly hot set
+// (reused constantly), a cache-averse scan (never reused), uniform random
+// traffic, a store fraction, leaf-PTE translation reads from a small pool,
+// and occasional writebacks. capacityLines sizes the hot set and pools
+// relative to the cache under test.
+func Stream(seed int64, n, capacityLines int) []Op {
+	r := newRNG(seed)
+	if capacityLines < 8 {
+		capacityLines = 8
+	}
+	const (
+		ipHot   = 0x40_0000
+		ipScan  = 0x40_0008
+		ipRand  = 0x40_0010
+		ipTrans = 0x40_0018
+	)
+	hotPool := capacityLines / 2
+	randPool := capacityLines * 8
+	transPool := capacityLines / 4
+	scanPos := 0
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		var o Op
+		switch p := r.intn(100); {
+		case p < 40: // hot set: friendly
+			o = Op{Kind: mem.Load, IP: ipHot, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}
+		case p < 62: // scan: averse
+			scanPos++
+			o = Op{Kind: mem.Load, IP: ipScan, Addr: mem.Addr(0x10_0000+scanPos) << mem.LineBits}
+		case p < 80: // uniform random
+			o = Op{Kind: mem.Load, IP: ipRand, Addr: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits}
+		case p < 88: // stores over the hot set (dirty lines, writebacks on evict)
+			o = Op{Kind: mem.Store, IP: ipHot, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}
+		case p < 95: // leaf-PTE reads from a small, heavily reused pool
+			pte := mem.Addr(0x30_0000+r.intn(transPool)) << mem.LineBits
+			o = Op{
+				Kind: mem.Translation, IP: ipTrans, Addr: pte,
+				Level: 1, Leaf: true,
+				ReplayTarget: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits,
+			}
+		case p < 98: // upper-level PTE reads
+			o = Op{
+				Kind: mem.Translation, IP: ipTrans,
+				Addr:  mem.Addr(0x38_0000+r.intn(transPool/2+1)) << mem.LineBits,
+				Level: 2 + r.intn(4),
+			}
+		default: // incoming writeback from a (modelled) level above
+			o = Op{Kind: mem.Writeback, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// LoadStream synthesizes a loads-only stream (the OPT oracle compares hit
+// counts, which is only meaningful for demand fetches). Structure mirrors
+// Stream: hot set, scan, random — enough texture for Hawkeye and SHiP to
+// learn from and for OPT to have real headroom over LRU.
+func LoadStream(seed int64, n, capacityLines int) []Op {
+	r := newRNG(seed)
+	if capacityLines < 8 {
+		capacityLines = 8
+	}
+	const (
+		ipHot  = 0x50_0000
+		ipScan = 0x50_0008
+		ipRand = 0x50_0010
+	)
+	hotPool := capacityLines * 3 / 4
+	randPool := capacityLines * 6
+	scanPos := 0
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		var o Op
+		switch p := r.intn(100); {
+		case p < 45:
+			o = Op{Kind: mem.Load, IP: ipHot, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}
+		case p < 75:
+			scanPos++
+			o = Op{Kind: mem.Load, IP: ipScan, Addr: mem.Addr(0x10_0000+scanPos) << mem.LineBits}
+		default:
+			o = Op{Kind: mem.Load, IP: ipRand, Addr: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}

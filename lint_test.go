@@ -1,0 +1,47 @@
+package atcsim
+
+import (
+	"bytes"
+	"os/exec"
+	"testing"
+)
+
+// TestLint is the repo's style gate: gofmt must be clean and go vet silent
+// across every package. It shells out to the toolchain, so it is skipped
+// under -short (and wherever the go tool is unavailable).
+func TestLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint gate skipped in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	t.Run("gofmt", func(t *testing.T) {
+		out, err := exec.Command(gobin, "run", "cmd/gofmt", "-l", ".").Output()
+		if err != nil {
+			// cmd/gofmt may be unavailable in trimmed toolchains; fall back
+			// to a standalone gofmt binary.
+			if path, lookErr := exec.LookPath("gofmt"); lookErr == nil {
+				out, err = exec.Command(path, "-l", ".").Output()
+			}
+			if err != nil {
+				t.Skipf("gofmt unavailable: %v", err)
+			}
+		}
+		if files := bytes.TrimSpace(out); len(files) > 0 {
+			t.Errorf("gofmt -l flags files:\n%s", files)
+		}
+	})
+
+	t.Run("vet", func(t *testing.T) {
+		cmd := exec.Command(gobin, "vet", "./...")
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		if err := cmd.Run(); err != nil {
+			t.Errorf("go vet: %v\n%s", err, buf.Bytes())
+		}
+	})
+}
