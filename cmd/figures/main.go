@@ -5,116 +5,31 @@
 // persisted across invocations with -cache-dir; the report output is
 // byte-identical regardless of either option.
 //
+// Long sweeps are governable: -run-timeout bounds each simulation,
+// -sweep-budget bounds the whole invocation, and SIGINT/SIGTERM cancel the
+// sweep gracefully — in-flight simulations finish and land in the cache,
+// completed reports are still printed (failed points render as
+// FAILED(reason) markers), and re-running with the same -cache-dir resumes
+// where the interrupted sweep left off.
+//
 //	figures -list
 //	figures -id fig14
 //	figures -scale quick -jobs 8
 //	figures -cache-dir .figcache -markdown > results.md
+//	figures -cache-dir .figcache -run-timeout 2m -sweep-budget 1h
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"atcsim/internal/experiments"
+	"atcsim/internal/figurescli"
 )
 
 func main() {
-	var (
-		id       = flag.String("id", "", "run a single experiment (see -list)")
-		list     = flag.Bool("list", false, "list experiment identifiers")
-		scale    = flag.String("scale", "full", "experiment scale: full or quick")
-		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
-		csvDir   = flag.String("csv", "", "also write one CSV file per experiment into this directory")
-		progress = flag.Bool("progress", false, "report each simulation run on stderr as the sweep progresses")
-		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = number of CPUs)")
-		cacheDir = flag.String("cache-dir", "", "persist simulation results here and reuse them on later runs")
-	)
-	flag.Parse()
-
-	if args := flag.Args(); len(args) > 0 {
-		fmt.Fprintf(os.Stderr, "figures: unexpected positional arguments %q (all options are flags; see -h)\n", args)
-		os.Exit(1)
-	}
-
-	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
-		return
-	}
-
-	var sc experiments.Scale
-	switch strings.ToLower(*scale) {
-	case "full":
-		sc = experiments.Full()
-	case "quick":
-		sc = experiments.Quick()
-	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
-		os.Exit(1)
-	}
-
-	// Validate the CSV target before the sweep: a bad path should fail in
-	// milliseconds, not after minutes of simulation.
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: cannot create -csv directory %q: %v\n", *csvDir, err)
-			os.Exit(1)
-		}
-	}
-
-	runner, err := experiments.NewRunnerWith(sc, experiments.Options{
-		Jobs:     *jobs,
-		CacheDir: *cacheDir,
-	})
+	code, err := figurescli.Main(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "figures: cannot open -cache-dir %q: %v\n", *cacheDir, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 	}
-	if *progress {
-		// Simulations finish on many goroutines; OnRun calls are serialized
-		// by the runner, so each line prints whole.
-		runner.OnRun = func(key, name string, runs int) {
-			fmt.Fprintf(os.Stderr, "figures: run %4d  %-24s %s\n", runs, key, name)
-		}
-	}
-
-	var reports []*experiments.Report
-	if *id != "" {
-		rep, err := experiments.ByIDWith(runner, *id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
-		}
-		reports = []*experiments.Report{rep}
-	} else {
-		reports = experiments.AllWith(runner)
-	}
-	if *progress {
-		fmt.Fprintf(os.Stderr, "figures: %d simulations complete (%d loaded from cache)\n",
-			runner.Runs(), runner.DiskHits())
-	}
-	if err := runner.CacheErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: warning: result cache: %v\n", err)
-	}
-
-	for _, rep := range reports {
-		if *csvDir != "" && rep.Table != nil {
-			path := filepath.Join(*csvDir, rep.ID+".csv")
-			if err := os.WriteFile(path, []byte(rep.Table.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		if *markdown {
-			fmt.Printf("### %s — %s\n\n```\n%s```\n\n", rep.ID, rep.Title, rep.Table)
-			for _, n := range rep.Notes {
-				fmt.Printf("> %s\n", n)
-			}
-			fmt.Println()
-		} else {
-			fmt.Println(rep)
-		}
-	}
+	os.Exit(code)
 }

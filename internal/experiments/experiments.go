@@ -13,18 +13,32 @@
 // deterministic and single-threaded; concurrency only changes *when* a run
 // executes, never its result).
 //
+// Execution is fault tolerant: every simulation runs under the sweep's
+// context with an optional per-run deadline, transient failures are retried
+// with capped exponential backoff, and a run that still fails — including a
+// panicking simulation — degrades only the experiments that need it. Those
+// experiments complete as FAILED(reason) reports carrying the failed run's
+// label and benchmark, while the rest of the sweep proceeds; completed
+// results stay in the disk cache, so a canceled or partially-failed sweep
+// resumes instead of recomputing.
+//
 // Figures 9, 11 and 13 are policy/state diagrams with no measured data;
 // their semantics are unit-tested in internal/repl and internal/cache.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"atcsim/internal/experiments/runner"
+	"atcsim/internal/faultinject"
 	"atcsim/internal/stats"
 	"atcsim/internal/system"
+	"atcsim/internal/telemetry"
 	"atcsim/internal/trace"
 	"atcsim/internal/workloads"
 )
@@ -86,11 +100,21 @@ type Report struct {
 	// Summary holds headline aggregates (keys documented per experiment),
 	// used by tests and EXPERIMENTS.md.
 	Summary map[string]float64
+	// Failed, when non-empty, is the reason this experiment produced no
+	// data: a required simulation permanently failed (or the sweep was
+	// canceled) and the failure was contained here instead of aborting the
+	// sweep. Failed reports carry no Table/Summary.
+	Failed string
 }
 
-// String renders the report as text.
+// String renders the report as text. Failed experiments render a stable
+// FAILED(reason) marker instead of data.
 func (r *Report) String() string {
 	var b strings.Builder
+	if r.Failed != "" {
+		fmt.Fprintf(&b, "== %s: FAILED ==\nFAILED(%s)\n", r.ID, r.Failed)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	if r.Table != nil {
 		b.WriteString(r.Table.String())
@@ -119,6 +143,61 @@ func sortStrings(s []string) {
 	}
 }
 
+// RunError identifies one simulation's permanent failure: which experiment
+// label and benchmark requested it, how many attempts were made, and the
+// final error. When the failure was a crash, Panic holds the recovered
+// panic value (also wrapped inside Err as a *runner.PanicError).
+type RunError struct {
+	Label    string
+	Name     string
+	Attempts int
+	Panic    any
+	Err      error
+}
+
+// Error renders a stable, schedule-independent message so FAILED markers
+// derived from it are byte-identical across job counts.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %s/%s failed (attempts=%d): %v", e.Label, e.Name, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure for errors.Is/As chains.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// abortExperiment is the controlled panic an experiment body raises (via
+// must) when a governed run permanently fails. It is caught at the
+// experiment boundary (runExperiment) and converted into a FAILED report;
+// any other panic is a genuine bug and still propagates.
+type abortExperiment struct{ err error }
+
+// must unwraps a governed run inside an experiment body: table builders
+// stay straight-line code, and a failed run aborts only the enclosing
+// experiment, never the sweep.
+func must[V any](v V, err error) V {
+	if err != nil {
+		panic(&abortExperiment{err: err})
+	}
+	return v
+}
+
+// runExperiment executes one catalog entry with containment: an
+// abortExperiment panic (a permanently-failed run) becomes a FAILED report
+// carrying the failure reason.
+func runExperiment(r *Runner, id string, fn func(*Runner) *Report) (rep *Report) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		ab, ok := p.(*abortExperiment)
+		if !ok {
+			panic(p)
+		}
+		rep = &Report{ID: id, Title: "FAILED", Failed: ab.err.Error()}
+	}()
+	return fn(r)
+}
+
 // Options configures the experiment engine behind a Runner.
 type Options struct {
 	// Jobs bounds how many simulations execute concurrently. Zero or
@@ -127,9 +206,33 @@ type Options struct {
 	Jobs int
 	// CacheDir, when non-empty, enables the on-disk result cache: every
 	// finished simulation is written there (JSON, keyed by run-key hash with
-	// a format-version field) and later runners with the same directory load
-	// it back instead of re-simulating. The directory is created if missing.
+	// format-version and checksum fields) and later runners with the same
+	// directory load it back instead of re-simulating. The directory is
+	// created if missing.
 	CacheDir string
+	// Context, when non-nil, is the sweep's base context: canceling it
+	// (SIGINT handling, tests) makes every not-yet-started run fail fast
+	// with a canceled RunError while in-flight runs finish and completed
+	// results stay cached — the sweep still renders, with FAILED markers.
+	Context context.Context
+	// RunTimeout, when positive, bounds each simulation attempt. An attempt
+	// that exceeds it is abandoned and the run fails with a deadline error
+	// (the simulator has no preemption points, so the abandoned attempt
+	// finishes in the background and is discarded).
+	RunTimeout time.Duration
+	// SweepBudget, when positive, bounds the whole sweep: once spent, every
+	// remaining run fails fast with a deadline error.
+	SweepBudget time.Duration
+	// Retry bounds the retry loop around transiently-failing runs. The
+	// zero value selects runner defaults (3 attempts, capped exponential
+	// backoff with jitter).
+	Retry runner.RetryPolicy
+	// Faults, when non-nil, injects deterministic faults at the engine's
+	// hook points (chaos testing). See internal/faultinject.
+	Faults *faultinject.Plan
+	// Health, when non-nil, receives the sweep's retry/failure counters;
+	// when nil the runner allocates its own (see Runner.Health).
+	Health *telemetry.Health
 }
 
 // Runner schedules and caches the simulations experiments request. Traces
@@ -137,11 +240,17 @@ type Options struct {
 // configuration (e.g. the baseline) pay for it once — even when they execute
 // concurrently. All methods are safe for concurrent use.
 type Runner struct {
-	sc      Scale
-	pool    *runner.Pool
-	traces  *runner.Cache[*trace.Trace]
-	results *runner.Cache[*system.Result]
-	disk    *runner.Disk
+	sc         Scale
+	pool       *runner.Pool
+	traces     *runner.Cache[*trace.Trace]
+	results    *runner.Cache[*system.Result]
+	disk       *runner.Disk
+	ctx        context.Context
+	cancel     context.CancelFunc
+	runTimeout time.Duration
+	retry      runner.RetryPolicy
+	faults     *faultinject.Plan
+	health     *telemetry.Health
 
 	mu       sync.Mutex
 	runs     int
@@ -161,8 +270,8 @@ type Runner struct {
 
 // NewRunner creates a sequential runner at the given scale (one simulation
 // at a time, no on-disk cache) — the right default for tests and library
-// use. Use NewRunnerWith to run simulations in parallel or to persist
-// results.
+// use. Use NewRunnerWith to run simulations in parallel, persist results,
+// or govern runs with deadlines and retries.
 func NewRunner(sc Scale) *Runner {
 	r, err := NewRunnerWith(sc, Options{Jobs: 1})
 	if err != nil {
@@ -173,20 +282,40 @@ func NewRunner(sc Scale) *Runner {
 }
 
 // NewRunnerWith creates a runner with an explicit job count and optional
-// on-disk result cache. It fails only when the cache directory cannot be
+// on-disk result cache, sweep context/budget, per-run deadline, retry
+// policy and fault plan. It fails only when the cache directory cannot be
 // created.
 func NewRunnerWith(sc Scale, opts Options) (*Runner, error) {
 	r := &Runner{
-		sc:      sc,
-		pool:    runner.NewPool(opts.Jobs),
-		traces:  runner.NewCache[*trace.Trace](),
-		results: runner.NewCache[*system.Result](),
+		sc:         sc,
+		pool:       runner.NewPool(opts.Jobs),
+		traces:     runner.NewCache[*trace.Trace](),
+		results:    runner.NewCache[*system.Result](),
+		runTimeout: opts.RunTimeout,
+		retry:      opts.Retry,
+		faults:     opts.Faults,
+		health:     opts.Health,
+	}
+	if r.health == nil {
+		r.health = new(telemetry.Health)
+	}
+	base := opts.Context
+	if base == nil {
+		base = context.Background()
+	}
+	if opts.SweepBudget > 0 {
+		r.ctx, r.cancel = context.WithTimeout(base, opts.SweepBudget)
+	} else {
+		r.ctx, r.cancel = context.WithCancel(base)
 	}
 	if opts.CacheDir != "" {
 		disk, err := runner.NewDisk(opts.CacheDir)
 		if err != nil {
+			r.cancel()
 			return nil, err
 		}
+		disk.SetFaults(opts.Faults)
+		disk.OnQuarantine(func(string) { r.health.Quarantined.Add(1) })
 		r.disk = disk
 	}
 	return r, nil
@@ -197,6 +326,23 @@ func (r *Runner) Scale() Scale { return r.sc }
 
 // Jobs returns the runner's simulation concurrency bound.
 func (r *Runner) Jobs() int { return r.pool.Jobs() }
+
+// Health returns the sweep's retry/failure counters (never nil).
+func (r *Runner) Health() *telemetry.Health { return r.health }
+
+// Cancel cancels the sweep: in-flight simulations finish (and their results
+// are cached), every not-yet-started run fails fast with a canceled error,
+// and the sweep completes with FAILED markers instead of aborting. Safe to
+// call from a signal handler goroutine; idempotent.
+func (r *Runner) Cancel() { r.cancel() }
+
+// Interrupted reports whether the sweep's context has been canceled or its
+// budget spent.
+func (r *Runner) Interrupted() bool { return r.ctx.Err() != nil }
+
+// Quarantined returns how many corrupt disk-cache entries were quarantined
+// to ".bad" siblings (and recomputed) during this runner's lifetime.
+func (r *Runner) Quarantined() int64 { return r.disk.Quarantined() }
 
 // Runs returns the number of simulations actually performed so far
 // (memoization and disk-cache hits excluded).
@@ -236,6 +382,7 @@ func (r *Runner) noteDiskHit() {
 	r.mu.Lock()
 	r.diskHits++
 	r.mu.Unlock()
+	r.health.DiskHits.Add(1)
 }
 
 func (r *Runner) noteCacheErr(err error) {
@@ -244,61 +391,117 @@ func (r *Runner) noteCacheErr(err error) {
 		r.cacheErr = err
 	}
 	r.mu.Unlock()
+	r.health.DiskErrors.Add(1)
+}
+
+// noteOutcome folds one governed run's outcome into the health counters.
+func (r *Runner) noteOutcome(rr runner.RunResult) {
+	h := r.health
+	if rr.Attempts > 1 {
+		h.Retries.Add(int64(rr.Attempts - 1))
+	}
+	if rr.Err == nil {
+		h.Runs.Add(1)
+		return
+	}
+	h.Failures.Add(1)
+	if rr.Panic != nil {
+		h.Panics.Add(1)
+	}
+	switch {
+	case errors.Is(rr.Err, context.DeadlineExceeded):
+		h.Timeouts.Add(1)
+	case errors.Is(rr.Err, context.Canceled):
+		h.Canceled.Add(1)
+	}
 }
 
 // Trace returns the (cached) synthesized trace for a benchmark at the
-// scale's primary seed.
+// scale's primary seed, aborting the enclosing experiment on failure.
 func (r *Runner) Trace(name string) *trace.Trace {
 	return r.TraceSeeded(name, r.sc.Seed)
 }
 
-// TraceSeeded returns the (cached) trace for a benchmark and seed. Trace
-// synthesis is single-flight: concurrent requests for the same trace share
-// one build.
+// TraceSeeded returns the (cached) trace for a benchmark and seed, aborting
+// the enclosing experiment on failure (e.g. an unregistered name).
 func (r *Runner) TraceSeeded(name string, seed int64) *trace.Trace {
+	return must(r.TryTraceSeeded(name, seed))
+}
+
+// TryTraceSeeded returns the (cached) trace for a benchmark and seed. Trace
+// synthesis is single-flight: concurrent requests for the same trace share
+// one build. An unregistered benchmark name is a permanent error carrying
+// the trace identity.
+func (r *Runner) TryTraceSeeded(name string, seed int64) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s@%d", name, seed)
-	t, _ := r.traces.Do(key, func() *trace.Trace {
+	t, _, err := r.traces.Do(key, func() (*trace.Trace, error) {
 		s, err := workloads.ByName(name)
 		if err != nil {
-			panic(err) // experiment tables only reference registered names
+			return nil, fmt.Errorf("experiments: trace %s: %w", key, err)
 		}
-		return s.Build(r.sc.TraceLen, seed)
+		return s.Build(r.sc.TraceLen, seed), nil
 	})
-	return t
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // cached is the engine core every simulation goes through: it derives the
 // canonical run key, consults the in-memory single-flight cache and the
-// optional disk cache, and otherwise executes sim on the worker pool,
-// persisting the fresh result. label/name feed OnRun; kind, names, seeds and
-// cfg define the canonical key.
+// optional disk cache, and otherwise executes sim on the worker pool under
+// the sweep context — with the configured per-run deadline, retry policy
+// and fault plan — persisting the fresh result. A permanent failure
+// (including a captured panic) is returned as a *RunError carrying the
+// label/name run identity; the failed cache entry re-arms, so a later
+// request for the same key retries instead of inheriting the failure.
 func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
-	cfg system.Config, sim func() (*system.Result, error)) *system.Result {
+	cfg system.Config, sim func() (*system.Result, error)) (*system.Result, error) {
 	key, err := runner.NewKey(kind, names, seeds, r.sc.TraceLen, cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: key %s/%s: %v", label, name, err))
+		return nil, &RunError{Label: label, Name: name, Attempts: 1,
+			Err: fmt.Errorf("derive run key: %w", err)}
 	}
-	res, _ := r.results.Do(key.Hash(), func() *system.Result {
+	id := label + "/" + name
+	res, _, err := r.results.Do(key.Hash(), func() (*system.Result, error) {
 		fromDisk := new(system.Result)
-		if ok, err := r.disk.Load(key, fromDisk); err != nil {
-			r.noteCacheErr(err) // undecodable entry: recompute below
+		if ok, lerr := r.disk.Load(key, fromDisk); lerr != nil {
+			r.noteCacheErr(lerr) // unreadable/undecodable entry: recompute below
 		} else if ok {
 			r.noteDiskHit()
-			return fromDisk
+			return fromDisk, nil
 		}
 		var out *system.Result
-		var simErr error
-		r.pool.Run(func() { out, simErr = sim() })
-		if simErr != nil {
-			panic(fmt.Sprintf("experiments: run %s/%s: %v", label, name, simErr))
+		rr := runner.Execute(r.ctx, r.retry, func(ctx context.Context) error {
+			if ferr := r.faults.Check(faultinject.SiteRun, id); ferr != nil {
+				return ferr
+			}
+			var res *system.Result
+			var serr error
+			r.pool.Run(func() {
+				res, serr = runner.Bounded(ctx, r.runTimeout, sim)
+			})
+			if serr != nil {
+				return serr
+			}
+			out = res
+			return nil
+		})
+		r.noteOutcome(rr)
+		if rr.Err != nil {
+			return nil, &RunError{Label: label, Name: name,
+				Attempts: rr.Attempts, Panic: rr.Panic, Err: rr.Err}
 		}
 		r.ran(label, name)
-		if err := r.disk.Store(key, out); err != nil {
-			r.noteCacheErr(err)
+		if serr := r.disk.Store(key, out); serr != nil {
+			r.noteCacheErr(serr)
 		}
-		return out
+		return out, nil
 	})
-	return res
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // baseConfig is the scale-adjusted Table I configuration.
@@ -313,20 +516,37 @@ func (r *Runner) baseConfig() system.Config {
 // the modification in progress output; deduplication uses the canonical run
 // key (the fully-resolved configuration plus workload, seed and trace
 // length), so two experiments requesting identical machines share one
-// simulation even under different labels.
+// simulation even under different labels. A permanent failure aborts the
+// enclosing experiment (see TryRun for the error-returning form).
 func (r *Runner) Run(key, name string, mod func(*system.Config)) *system.Result {
-	return r.runSeeded(key, name, r.sc.Seed, mod)
+	return must(r.TryRun(key, name, mod))
+}
+
+// TryRun is Run returning the failure as a *RunError instead of aborting
+// the enclosing experiment — the entry point for callers that handle
+// per-run failures themselves.
+func (r *Runner) TryRun(label, name string, mod func(*system.Config)) (*system.Result, error) {
+	return r.trySeeded(label, name, r.sc.Seed, mod)
 }
 
 // runSeeded is Run against the trace synthesized with an explicit seed.
 func (r *Runner) runSeeded(label, name string, seed int64, mod func(*system.Config)) *system.Result {
+	return must(r.trySeeded(label, name, seed, mod))
+}
+
+// trySeeded is the error-returning core of Run/runSeeded.
+func (r *Runner) trySeeded(label, name string, seed int64, mod func(*system.Config)) (*system.Result, error) {
 	cfg := r.baseConfig()
 	if mod != nil {
 		mod(&cfg)
 	}
 	return r.cached(label, name, runner.KindSingle, []string{name}, []int64{seed}, cfg,
 		func() (*system.Result, error) {
-			return system.Run(cfg, r.TraceSeeded(name, seed))
+			tr, err := r.TryTraceSeeded(name, seed)
+			if err != nil {
+				return nil, err
+			}
+			return system.Run(cfg, tr)
 		})
 }
 
@@ -396,11 +616,13 @@ func All(sc Scale) []*Report { return AllWith(NewRunner(sc)) }
 // progress hook (Runner.OnRun), share memoized results, or run in parallel
 // (NewRunnerWith). Experiments execute concurrently — the runner's job count
 // bounds how many simulations are in flight — and reports are assembled in
-// paper order, so the output is identical to a sequential sweep.
+// paper order, so the output is identical to a sequential sweep. A
+// permanently-failed run yields FAILED reports for the experiments that
+// needed it; the rest of the sweep completes normally.
 func AllWith(r *Runner) []*Report {
 	reports := make([]*Report, len(catalog))
 	forEachIndex(len(catalog), func(i int) {
-		reports[i] = catalog[i].fn(r)
+		reports[i] = runExperiment(r, catalog[i].id, catalog[i].fn)
 	})
 	return reports
 }
@@ -410,12 +632,14 @@ func AllWith(r *Runner) []*Report {
 // "robustness").
 func ByID(sc Scale, id string) (*Report, error) { return ByIDWith(NewRunner(sc), id) }
 
-// ByIDWith is ByID on a caller-provided runner.
+// ByIDWith is ByID on a caller-provided runner. Like AllWith, a
+// permanently-failed run is contained as a FAILED report, not an error:
+// the error return is reserved for unknown identifiers.
 func ByIDWith(r *Runner, id string) (*Report, error) {
 	want := strings.ToLower(id)
 	for _, e := range catalog {
 		if e.id == want {
-			return e.fn(r), nil
+			return runExperiment(r, e.id, e.fn), nil
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)

@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError transports a panic captured inside a governed run as an error
+// value, so containment code can treat crashes and failures uniformly. The
+// message is stable (the panic value only — no stack, no addresses); the
+// stack is retained separately for diagnostics.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the panic value without the stack, keeping failure reasons
+// deterministic across runs and job counts.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// RunResult is the structured outcome of one governed run: how it ended,
+// how many attempts it took, and how long it ran. A run either succeeded
+// (Err == nil), failed (Err != nil), or crashed (Err wraps a *PanicError,
+// also surfaced in Panic) — failures are captured here instead of
+// propagating, so one bad run degrades a sweep rather than killing it.
+type RunResult struct {
+	// Err is the final attempt's failure (nil on success). Context
+	// cancellation and deadline expiry surface here wrapped around
+	// context.Canceled / context.DeadlineExceeded.
+	Err error
+	// Panic is the recovered panic value when the final failure was a
+	// crash, nil otherwise.
+	Panic any
+	// Attempts is how many attempts executed (≥1 unless the context was
+	// already canceled before the first attempt, which records 1 refused
+	// attempt).
+	Attempts int
+	// Elapsed is the wall time across all attempts, including backoff.
+	Elapsed time.Duration
+}
+
+// RetryPolicy bounds the retry loop around transiently-failing runs.
+// The zero value selects the defaults (3 attempts, 5ms base, 250ms cap).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (including the first).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay, with multiplicative jitter in
+	// [0.5, 1.0) so retrying runs don't stampede.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff is the sleep before retry number `retry` (1-based), with jitter.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+}
+
+// IsRetryable classifies an error as transient (worth retrying) or
+// permanent. Injected transient faults (anything implementing
+// Transient() bool), filesystem errors and truncated reads are transient;
+// panics, context cancellation/expiry, determinism violations and every
+// other failure are permanent.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var pathErr *fs.PathError
+	if errors.As(err, &pathErr) {
+		return true
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// protect runs f, converting a panic into a *PanicError.
+func protect[V any](f func() (V, error)) (v V, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+// Bounded runs f under a deadline. When timeout is positive (or ctx already
+// carries a deadline/cancellation), f executes on its own goroutine and
+// Bounded returns early with a wrapped ctx error if the deadline expires
+// first — the abandoned computation keeps running to completion in the
+// background (the simulator has no preemption points) but its result is
+// discarded. Panics inside f surface as a *PanicError.
+func Bounded[V any](ctx context.Context, timeout time.Duration, f func() (V, error)) (V, error) {
+	var zero V
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		return protect(f)
+	}
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("run refused: %w", err)
+	}
+	type outcome struct {
+		v   V
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := protect(f)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		return zero, fmt.Errorf("run abandoned: %w", ctx.Err())
+	}
+}
+
+// Execute runs f under ctx with the policy's retry budget: transient
+// failures (IsRetryable) are retried with capped exponential backoff and
+// jitter; permanent failures, panics and context cancellation end the loop
+// immediately. The outcome — including a captured panic, the attempt count
+// and the elapsed time — is returned as a RunResult, never propagated.
+func Execute(ctx context.Context, pol RetryPolicy, f func(ctx context.Context) error) RunResult {
+	pol = pol.withDefaults()
+	start := time.Now()
+	rr := RunResult{}
+	for attempt := 1; ; attempt++ {
+		rr.Attempts = attempt
+		if err := ctx.Err(); err != nil {
+			rr.Err = fmt.Errorf("run refused: %w", err)
+			break
+		}
+		_, err := protect(func() (struct{}, error) { return struct{}{}, f(ctx) })
+		rr.Err = err
+		if err == nil || !IsRetryable(err) || attempt >= pol.MaxAttempts {
+			break
+		}
+		t := time.NewTimer(pol.backoff(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	var pe *PanicError
+	if errors.As(rr.Err, &pe) {
+		rr.Panic = pe.Value
+	}
+	rr.Elapsed = time.Since(start)
+	return rr
+}

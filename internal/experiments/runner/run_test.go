@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"testing"
+	"time"
+)
+
+// transientErr is a test double for an injected transient failure.
+type transientErr struct{ msg string }
+
+func (e *transientErr) Error() string   { return e.msg }
+func (e *transientErr) Transient() bool { return true }
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestExecuteSucceedsFirstAttempt(t *testing.T) {
+	rr := Execute(context.Background(), fastPolicy(), func(ctx context.Context) error { return nil })
+	if rr.Err != nil || rr.Panic != nil || rr.Attempts != 1 {
+		t.Errorf("RunResult = %+v", rr)
+	}
+	if rr.Elapsed < 0 {
+		t.Errorf("Elapsed = %v", rr.Elapsed)
+	}
+}
+
+func TestExecuteRetriesTransientToSuccess(t *testing.T) {
+	calls := 0
+	rr := Execute(context.Background(), fastPolicy(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return &transientErr{"flaky"}
+		}
+		return nil
+	})
+	if rr.Err != nil || rr.Attempts != 3 || calls != 3 {
+		t.Errorf("RunResult = %+v, calls = %d", rr, calls)
+	}
+}
+
+func TestExecuteExhaustsRetryBudget(t *testing.T) {
+	calls := 0
+	rr := Execute(context.Background(), fastPolicy(), func(ctx context.Context) error {
+		calls++
+		return &transientErr{"never heals"}
+	})
+	if rr.Err == nil || rr.Attempts != 3 || calls != 3 {
+		t.Errorf("RunResult = %+v, calls = %d", rr, calls)
+	}
+}
+
+func TestExecutePermanentErrorNotRetried(t *testing.T) {
+	calls := 0
+	rr := Execute(context.Background(), fastPolicy(), func(ctx context.Context) error {
+		calls++
+		return errors.New("determinism violation")
+	})
+	if rr.Err == nil || rr.Attempts != 1 || calls != 1 {
+		t.Errorf("RunResult = %+v, calls = %d", rr, calls)
+	}
+}
+
+func TestExecuteCapturesPanic(t *testing.T) {
+	calls := 0
+	rr := Execute(context.Background(), fastPolicy(), func(ctx context.Context) error {
+		calls++
+		panic("boom")
+	})
+	if rr.Panic != "boom" || rr.Attempts != 1 || calls != 1 {
+		t.Errorf("RunResult = %+v, calls = %d", rr, calls)
+	}
+	if rr.Err == nil || !strings.Contains(rr.Err.Error(), "panic: boom") {
+		t.Errorf("Err = %v", rr.Err)
+	}
+	var pe *PanicError
+	if !errors.As(rr.Err, &pe) || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v", pe)
+	}
+}
+
+func TestExecuteCanceledContextRefusesRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	rr := Execute(ctx, fastPolicy(), func(ctx context.Context) error {
+		calls++
+		return nil
+	})
+	if calls != 0 {
+		t.Errorf("canceled context still ran %d attempts", calls)
+	}
+	if !errors.Is(rr.Err, context.Canceled) {
+		t.Errorf("Err = %v", rr.Err)
+	}
+}
+
+func TestExecuteCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	rr := Execute(ctx, RetryPolicy{MaxAttempts: 50, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+		func(ctx context.Context) error {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+			return &transientErr{"flaky"}
+		})
+	if calls > 3 {
+		t.Errorf("kept retrying after cancel: %d calls", calls)
+	}
+	if rr.Err == nil {
+		t.Error("no error after cancel")
+	}
+}
+
+func TestBoundedCompletesInTime(t *testing.T) {
+	v, err := Bounded(context.Background(), time.Second, func() (int, error) { return 41, nil })
+	if v != 41 || err != nil {
+		t.Errorf("Bounded = (%d, %v)", v, err)
+	}
+	// No deadline at all: inline fast path.
+	v, err = Bounded(context.Background(), 0, func() (int, error) { return 42, nil })
+	if v != 42 || err != nil {
+		t.Errorf("unbounded = (%d, %v)", v, err)
+	}
+}
+
+func TestBoundedDeadlineAbandonsRun(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	start := time.Now()
+	_, err := Bounded(context.Background(), 20*time.Millisecond, func() (int, error) {
+		<-block
+		return 1, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadline took %v to fire", d)
+	}
+	if IsRetryable(err) {
+		t.Error("deadline expiry classified retryable")
+	}
+}
+
+func TestBoundedPanicBecomesError(t *testing.T) {
+	_, err := Bounded(context.Background(), time.Second, func() (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Errorf("err = %v", err)
+	}
+	// Same on the inline (no-deadline) path.
+	_, err = Bounded(context.Background(), 0, func() (int, error) { panic("kaboom") })
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Errorf("inline err = %v", err)
+	}
+}
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{&transientErr{"x"}, true},
+		{fmt.Errorf("wrap: %w", &transientErr{"x"}), true},
+		{&fs.PathError{Op: "open", Path: "/x", Err: errors.New("io")}, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("run refused: %w", context.Canceled), false},
+		{&PanicError{Value: "boom"}, false},
+	}
+	for i, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("case %d (%v): IsRetryable = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}.withDefaults()
+	for retry := 1; retry <= 10; retry++ {
+		d := p.backoff(retry)
+		if d > p.MaxDelay {
+			t.Errorf("retry %d: backoff %v exceeds cap %v", retry, d, p.MaxDelay)
+		}
+		if d < p.BaseDelay/2 {
+			t.Errorf("retry %d: backoff %v below base/2", retry, d)
+		}
+	}
+}

@@ -1,9 +1,11 @@
-// Package runner provides the concurrency machinery behind the experiment
-// suite: a worker pool that bounds how many simulations run at once, a keyed
-// in-memory cache with single-flight semantics (concurrent requests for the
-// same run share one execution), and an optional on-disk result store keyed
-// by canonical run-key hashes so interrupted or overlapping sweeps resume
-// instead of recomputing.
+// Package runner provides the concurrency and fault-tolerance machinery
+// behind the experiment suite: a worker pool that bounds how many
+// simulations run at once, a keyed in-memory cache with single-flight
+// semantics (concurrent requests for the same run share one execution), a
+// retry executor with deadlines and capped exponential backoff (run.go),
+// and an optional checksummed on-disk result store keyed by canonical
+// run-key hashes so interrupted or overlapping sweeps resume instead of
+// recomputing (disk.go).
 //
 // The package is deliberately generic: it knows nothing about the simulator.
 // Experiments describe each simulation with a Key (workloads, seeds, trace
@@ -49,15 +51,20 @@ func (p *Pool) Run(f func()) {
 type call[V any] struct {
 	done     chan struct{}
 	val      V
+	err      error
 	panicked any
 }
 
 // Cache is a concurrency-safe memoization map with single-flight semantics:
 // the first Do for a key runs the compute function, concurrent Dos for the
 // same key wait for that computation, and later Dos return the stored value
-// immediately. A panic inside compute is re-raised in every waiting caller,
-// so a failed simulation fails the whole sweep the same way it would have
-// sequentially.
+// immediately.
+//
+// Failures do not poison the cache: a compute that returns an error or
+// panics delivers that failure to the computing caller and to every caller
+// already waiting, then the entry is re-armed (removed), so a later Do for
+// the same key retries the computation instead of replaying the failure
+// forever. Only successful values are memoized.
 type Cache[V any] struct {
 	mu sync.Mutex
 	m  map[string]*call[V]
@@ -69,10 +76,11 @@ func NewCache[V any]() *Cache[V] {
 }
 
 // Do returns the value for key, computing it via compute at most once per
-// cache. fresh reports whether this call performed the computation (false
-// for memoization hits and for callers that waited on another goroutine's
-// computation).
-func (c *Cache[V]) Do(key string, compute func() V) (val V, fresh bool) {
+// cache while the computation succeeds. fresh reports whether this call
+// performed the computation (false for memoization hits and for callers
+// that waited on another goroutine's computation). A compute panic is
+// re-raised in the computing caller and in every waiting caller.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (val V, fresh bool, err error) {
 	c.mu.Lock()
 	if cl, ok := c.m[key]; ok {
 		c.mu.Unlock()
@@ -80,20 +88,28 @@ func (c *Cache[V]) Do(key string, compute func() V) (val V, fresh bool) {
 		if cl.panicked != nil {
 			panic(cl.panicked)
 		}
-		return cl.val, false
+		return cl.val, false, cl.err
 	}
 	cl := &call[V]{done: make(chan struct{})}
 	c.m[key] = cl
 	c.mu.Unlock()
 
-	defer close(cl.done)
 	defer func() {
-		if cl.panicked = recover(); cl.panicked != nil {
+		cl.panicked = recover()
+		if cl.panicked != nil || cl.err != nil {
+			// Deliver the failure to everyone already waiting, but re-arm
+			// the entry so future callers retry instead of inheriting it.
+			c.mu.Lock()
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(cl.done)
+		if cl.panicked != nil {
 			panic(cl.panicked)
 		}
 	}()
-	cl.val = compute()
-	return cl.val, true
+	cl.val, cl.err = compute()
+	return cl.val, true, cl.err
 }
 
 // Len returns the number of keys resident in the cache (completed or in

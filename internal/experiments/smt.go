@@ -48,11 +48,19 @@ func (r *Runner) availableMixes(mixes [][2]string) [][2]string {
 func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
 	cfg := r.baseConfig()
 	cfg.Apply(e)
-	return r.cached("smt:"+e.String(), mix[0]+"-"+mix[1],
+	return must(r.cached("smt:"+e.String(), mix[0]+"-"+mix[1],
 		runner.KindSMT, mix[:], []int64{r.sc.Seed}, cfg,
 		func() (*system.Result, error) {
-			return system.RunSMT(cfg, r.Trace(mix[0]), r.Trace(mix[1]))
-		})
+			t0, err := r.TryTraceSeeded(mix[0], r.sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t1, err := r.TryTraceSeeded(mix[1], r.sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return system.RunSMT(cfg, t0, t1)
+		}))
 }
 
 // runMulti simulates a multi-programmed mix (one benchmark per core) under
@@ -63,15 +71,19 @@ func (r *Runner) runMulti(mix []string, e system.Enhancement) *system.Result {
 	cfg.Instructions /= 2
 	cfg.Warmup /= 2
 	cfg.Apply(e)
-	return r.cached("multi:"+e.String(), strings.Join(mix, "-"),
+	return must(r.cached("multi:"+e.String(), strings.Join(mix, "-"),
 		runner.KindMulti, mix, []int64{r.sc.Seed}, cfg,
 		func() (*system.Result, error) {
 			traces := make([]*trace.Trace, len(mix))
 			for i, w := range mix {
-				traces[i] = r.Trace(w)
+				t, err := r.TryTraceSeeded(w, r.sc.Seed)
+				if err != nil {
+					return nil, err
+				}
+				traces[i] = t
 			}
 			return system.RunMulti(cfg, traces)
-		})
+		}))
 }
 
 // Fig17 evaluates the full enhancement stack on a 2-way SMT core using the

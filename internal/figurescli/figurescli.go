@@ -1,0 +1,228 @@
+// Package figurescli implements cmd/figures: flag parsing and validation,
+// graceful SIGINT/SIGTERM shutdown, and report rendering (text, markdown,
+// CSV) including FAILED(reason) markers for contained per-point failures.
+// It lives outside cmd/ so the full pipeline — including exit codes and
+// degraded output — is unit-testable without spawning a process.
+package figurescli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"atcsim/internal/experiments"
+)
+
+// shutdownGrace bounds how long a sweep may keep draining after the first
+// SIGINT/SIGTERM before the process force-exits. In-flight simulations
+// usually finish well inside it because every not-yet-started run fails
+// fast once the sweep context is canceled.
+const shutdownGrace = 30 * time.Second
+
+// Exit codes: 0 success, 1 completed with FAILED experiments, 2 usage
+// error, 130 interrupted by signal (128+SIGINT, the shell convention).
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
+// Main runs the figures CLI against args (without the program name),
+// writing reports to stdout and diagnostics to stderr. It returns the
+// process exit code and, for usage errors, the error to print.
+func Main(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id          = fs.String("id", "", "run a single experiment (see -list)")
+		list        = fs.Bool("list", false, "list experiment identifiers")
+		scale       = fs.String("scale", "full", "experiment scale: full or quick")
+		markdown    = fs.Bool("markdown", false, "emit markdown instead of plain text")
+		csvDir      = fs.String("csv", "", "also write one CSV file per experiment into this directory")
+		progress    = fs.Bool("progress", false, "report each simulation run on stderr as the sweep progresses")
+		jobs        = fs.Int("jobs", 0, "concurrent simulations (0 = number of CPUs)")
+		cacheDir    = fs.String("cache-dir", "", "persist simulation results here and reuse them on later runs")
+		runTimeout  = fs.Duration("run-timeout", 0, "abandon any single simulation after this long (0 = no limit)")
+		sweepBudget = fs.Duration("sweep-budget", 0, "stop starting new simulations after this long (0 = no limit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage, nil // the flag package already printed the problem
+	}
+	if args := fs.Args(); len(args) > 0 {
+		return exitUsage, fmt.Errorf("unexpected positional arguments %q (all options are flags; see -h)", args)
+	}
+
+	// Validate the time budgets up front: an explicitly-set zero or negative
+	// duration is a typo (e.g. "-run-timeout 2" parsing as 2ns would be
+	// caught by flag, but "-run-timeout 0s" or "-run-timeout -1m" would
+	// silently disable the limit), and a misconfigured budget should fail in
+	// milliseconds, not after minutes of simulation.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "run-timeout":
+			if *runTimeout <= 0 {
+				flagErr = fmt.Errorf("-run-timeout must be positive, got %v", *runTimeout)
+			}
+		case "sweep-budget":
+			if *sweepBudget <= 0 {
+				flagErr = fmt.Errorf("-sweep-budget must be positive, got %v", *sweepBudget)
+			}
+		}
+	})
+	if flagErr != nil {
+		return exitUsage, flagErr
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return exitOK, nil
+	}
+
+	var sc experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "full":
+		sc = experiments.Full()
+	case "quick":
+		sc = experiments.Quick()
+	default:
+		return exitUsage, fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	// Validate the CSV target before the sweep: a bad path should fail in
+	// milliseconds, not after minutes of simulation.
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return exitUsage, fmt.Errorf("cannot create -csv directory %q: %v", *csvDir, err)
+		}
+	}
+
+	runner, err := experiments.NewRunnerWith(sc, experiments.Options{
+		Jobs:        *jobs,
+		CacheDir:    *cacheDir,
+		RunTimeout:  *runTimeout,
+		SweepBudget: *sweepBudget,
+	})
+	if err != nil {
+		return exitUsage, fmt.Errorf("cannot open -cache-dir %q: %v", *cacheDir, err)
+	}
+	defer runner.Cancel()
+	if *progress {
+		// Simulations finish on many goroutines; OnRun calls are serialized
+		// by the runner, so each line prints whole.
+		runner.OnRun = func(key, name string, runs int) {
+			fmt.Fprintf(stderr, "figures: run %4d  %-24s %s\n", runs, key, name)
+		}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep — every
+	// in-flight simulation finishes (and lands in the cache) while every
+	// not-yet-started run fails fast — and the completed reports are still
+	// rendered below, with FAILED markers. A second signal, or a sweep that
+	// is still draining when the grace period expires, force-exits.
+	var interrupted atomic.Bool
+	done := make(chan struct{})
+	defer close(done)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case s := <-sigc:
+			interrupted.Store(true)
+			runner.Cancel()
+			fmt.Fprintf(stderr, "figures: %v — finishing in-flight simulations and flushing completed results\n", s)
+			if *cacheDir != "" {
+				fmt.Fprintf(stderr, "figures: re-run with -cache-dir %s to resume from completed results\n", *cacheDir)
+			} else {
+				fmt.Fprintln(stderr, "figures: (no -cache-dir: completed results will be lost; use -cache-dir to make sweeps resumable)")
+			}
+		case <-done:
+			return
+		}
+		select {
+		case <-sigc:
+			fmt.Fprintln(stderr, "figures: second signal — exiting immediately")
+		case <-time.After(shutdownGrace):
+			fmt.Fprintf(stderr, "figures: still draining after %v — exiting\n", shutdownGrace)
+		case <-done:
+			return
+		}
+		os.Exit(exitInterrupted)
+	}()
+
+	var reports []*experiments.Report
+	if *id != "" {
+		rep, err := experiments.ByIDWith(runner, *id)
+		if err != nil {
+			return exitUsage, err
+		}
+		reports = []*experiments.Report{rep}
+	} else {
+		reports = experiments.AllWith(runner)
+	}
+	if *progress {
+		fmt.Fprintf(stderr, "figures: %d simulations complete (%d loaded from cache)\n",
+			runner.Runs(), runner.DiskHits())
+		fmt.Fprintf(stderr, "figures: health: %s\n", runner.Health())
+	}
+	if err := runner.CacheErr(); err != nil {
+		fmt.Fprintf(stderr, "figures: warning: result cache: %v\n", err)
+	}
+
+	failed := 0
+	for _, rep := range reports {
+		if rep.Failed != "" {
+			failed++
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, rep.ID+".csv")
+			var content string
+			switch {
+			case rep.Failed != "":
+				// A stable machine-readable marker instead of silently
+				// omitting the file: downstream plotting sees the point
+				// exists and failed, with the reason quoted as one CSV field.
+				content = fmt.Sprintf("status,reason\nFAILED,%q\n", rep.Failed)
+			case rep.Table != nil:
+				content = rep.Table.CSV()
+			}
+			if content != "" {
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					return exitFailed, err
+				}
+			}
+		}
+		if *markdown {
+			if rep.Failed != "" {
+				fmt.Fprintf(stdout, "### %s — FAILED\n\n`FAILED(%s)`\n\n", rep.ID, rep.Failed)
+				continue
+			}
+			fmt.Fprintf(stdout, "### %s — %s\n\n```\n%s```\n\n", rep.ID, rep.Title, rep.Table)
+			for _, n := range rep.Notes {
+				fmt.Fprintf(stdout, "> %s\n", n)
+			}
+			fmt.Fprintln(stdout)
+		} else {
+			fmt.Fprintln(stdout, rep)
+		}
+	}
+
+	switch {
+	case interrupted.Load():
+		fmt.Fprintf(stderr, "figures: interrupted: %d/%d experiments incomplete\n", failed, len(reports))
+		return exitInterrupted, nil
+	case failed > 0:
+		fmt.Fprintf(stderr, "figures: %d/%d experiments FAILED\n", failed, len(reports))
+		return exitFailed, nil
+	}
+	return exitOK, nil
+}
