@@ -1,0 +1,191 @@
+// Command benchcheck turns `go test -bench -benchmem` output into a JSON
+// baseline and gates regressions against a committed one.
+//
+// Record a baseline:
+//
+//	go test -bench . -benchmem -run xxx ./internal/benchmarks/ | benchcheck -update BENCH_pr5.json
+//
+// Gate a change (CI):
+//
+//	go test -bench . -benchmem -run xxx ./internal/benchmarks/ | benchcheck -baseline BENCH_pr5.json
+//
+// The gate FAILS (exit 1) on allocs/op regressions. For benchmarks whose
+// baseline is 0 allocs/op the comparison is exact — the zero-allocation
+// hot-path invariant never has noise, so any allocation is a regression.
+// Benchmarks with residual cold-path allocations (the experiment-level
+// ones) get -alloc-slack-pct of headroom before failing, since their counts
+// wiggle slightly with iteration count. ns/op is timing-sensitive on shared
+// runners, so slowdowns beyond -warn-pct only WARN.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded performance.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed benchmark baseline file.
+type Baseline struct {
+	// Note describes how the baseline was produced (machine, benchtime).
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		update   = flag.String("update", "", "write parsed results to this baseline file and exit")
+		baseline = flag.String("baseline", "", "compare parsed results against this baseline file")
+		note     = flag.String("note", "", "note to embed when writing a baseline")
+		warnPct  = flag.Float64("warn-pct", 15, "warn when ns/op regresses more than this percentage")
+		slackPct = flag.Float64("alloc-slack-pct", 10, "allocs/op headroom for benchmarks with a nonzero baseline (zero baselines are exact)")
+	)
+	flag.Parse()
+	if (*update == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -update or -baseline is required")
+		os.Exit(2)
+	}
+
+	got, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *update != "" {
+		b := Baseline{Note: *note, Benchmarks: got}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*update, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(got), *update)
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+
+	fails, warns := compare(base.Benchmarks, got, *warnPct, *slackPct)
+	for _, w := range warns {
+		fmt.Println("WARN:", w)
+	}
+	for _, f := range fails {
+		fmt.Println("FAIL:", f)
+	}
+	fmt.Printf("benchcheck: %d benchmarks compared, %d failures, %d warnings\n",
+		len(got), len(fails), len(warns))
+	if len(fails) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines from go test output. The -N GOMAXPROCS
+// suffix is stripped so baselines transfer across machines.
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{}
+		// f[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// compare returns failure and warning messages for got vs base. Benchmarks
+// missing from either side are reported: a benchmark that silently vanishes
+// from the run would otherwise make its regressions invisible.
+func compare(base, got map[string]Entry, warnPct, slackPct float64) (fails, warns []string) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := base[n]
+		g, ok := got[n]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: present in baseline but not in this run", n))
+			continue
+		}
+		limit := b.AllocsPerOp * (1 + slackPct/100)
+		switch {
+		case g.AllocsPerOp > limit:
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %v > baseline %v",
+				n, g.AllocsPerOp, b.AllocsPerOp))
+		case g.AllocsPerOp > b.AllocsPerOp:
+			warns = append(warns, fmt.Sprintf("%s: allocs/op %v over baseline %v (within slack)",
+				n, g.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.NsPerOp > 0 {
+			pct := (g.NsPerOp/b.NsPerOp - 1) * 100
+			if pct > warnPct {
+				warns = append(warns, fmt.Sprintf("%s: ns/op %.4g is %.1f%% over baseline %.4g",
+					n, g.NsPerOp, pct, b.NsPerOp))
+			}
+		}
+	}
+	for n := range got {
+		if _, ok := base[n]; !ok {
+			warns = append(warns, fmt.Sprintf("%s: not in baseline (add it with -update)", n))
+		}
+	}
+	return fails, warns
+}

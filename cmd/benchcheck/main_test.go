@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+BenchmarkCacheAccessHit-8     	  200000	        19.68 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTLBLookupHit-8       	  200000	        12.19 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig14_EnhancementLadder 	       1	485117825 ns/op	208691716 B/op	 2915543 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	e, ok := got["BenchmarkCacheAccessHit"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if e.NsPerOp != 19.68 || e.AllocsPerOp != 0 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	f := got["BenchmarkFig14_EnhancementLadder"]
+	if f.AllocsPerOp != 2915543 || f.BytesPerOp != 208691716 {
+		t.Fatalf("bad entry: %+v", f)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 5},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	got := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 110, AllocsPerOp: 1}, // zero baseline is exact → fail
+		"BenchmarkB": {NsPerOp: 150, AllocsPerOp: 4}, // 50% slower → warn only
+		// BenchmarkC missing → fail
+		"BenchmarkD": {NsPerOp: 10}, // unknown → warn
+	}
+	fails, warns := compare(base, got, 15, 10)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want 2 entries", fails)
+	}
+	if len(warns) != 2 {
+		t.Fatalf("warns = %v, want 2 entries", warns)
+	}
+	if fails, _ := compare(base, map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 5},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+	}, 15, 10); len(fails) != 0 {
+		t.Fatalf("clean run should pass, got %v", fails)
+	}
+	// A nonzero baseline gets slack before failing, with a warning inside it.
+	fails, warns = compare(base, map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 5.4},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+	}, 15, 10)
+	if len(fails) != 0 || len(warns) != 1 {
+		t.Fatalf("slack case: fails = %v warns = %v, want 0 fails 1 warn", fails, warns)
+	}
+	if fails, _ = compare(base, map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 6},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+	}, 15, 10); len(fails) != 1 {
+		t.Fatalf("beyond slack should fail, got %v", fails)
+	}
+}

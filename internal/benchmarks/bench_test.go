@@ -11,7 +11,7 @@ import (
 	"atcsim/internal/vm"
 )
 
-func buildHierarchy(b *testing.B, policy string) *cache.Cache {
+func buildHierarchy(b testing.TB, policy string) *cache.Cache {
 	b.Helper()
 	ch := dram.NewController(dram.DefaultConfig())
 	llc, err := cache.New(cache.Config{
@@ -53,9 +53,10 @@ func BenchmarkCacheAccessHit(b *testing.B) {
 // levels into DRAM with a striding address.
 func BenchmarkCacheAccessMissStream(b *testing.B) {
 	l1 := buildHierarchy(b, "ship")
+	req := &mem.Request{Kind: mem.Load, IP: 2}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := &mem.Request{Addr: mem.Addr(i) * 8192, Kind: mem.Load, IP: 2}
+		req.Addr = mem.Addr(i) * 8192
 		l1.Access(req, int64(i)*50)
 	}
 }

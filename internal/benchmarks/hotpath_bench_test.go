@@ -1,0 +1,104 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"atcsim/internal/dram"
+	"atcsim/internal/mem"
+	"atcsim/internal/repl"
+	"atcsim/internal/tlb"
+)
+
+// Microbenchmarks for the subsystems on the per-request hot path. Run with
+// -benchmem: the steady-state loops below must report 0 allocs/op (pinned by
+// the TestZeroAlloc* tests in alloc_test.go and by the CI benchmark gate).
+
+func newSTLB(b *testing.B) *tlb.TLB {
+	b.Helper()
+	t, err := tlb.New(tlb.Config{Name: "STLB", Entries: 2048, Ways: 8, Latency: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkTLBLookupHit measures the set-associative lookup on a resident
+// working set.
+func BenchmarkTLBLookupHit(b *testing.B) {
+	t := newSTLB(b)
+	const pages = 512
+	for i := 0; i < pages; i++ {
+		va := mem.Addr(i) * mem.PageSize
+		t.Insert(va, mem.Addr(0x10000+i)*mem.PageSize)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := mem.Addr(i%pages) * mem.PageSize
+		if _, hit := t.Lookup(va); !hit {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+// BenchmarkTLBInsertEvict measures the fill path under steady capacity
+// pressure (every insert evicts an LRU entry).
+func BenchmarkTLBInsertEvict(b *testing.B) {
+	t := newSTLB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := mem.Addr(i) * mem.PageSize
+		t.Insert(va, va|1<<30)
+	}
+}
+
+// BenchmarkDRAMSlotBooking measures the bank+bus slot booking of a channel
+// read on an advancing clock — the path that replaced the per-bucket map
+// with a ring window.
+func BenchmarkDRAMSlotBooking(b *testing.B) {
+	ch := dram.New(dram.DefaultConfig())
+	req := &mem.Request{Kind: mem.Load}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Addr = mem.Addr(i%1024) * 4096
+		ch.Read(req, int64(i)*8)
+	}
+}
+
+// benchmarkReplUpdate drives one policy through a miss-heavy mix of
+// Victim/Evicted/Insert/Hit calls over more lines than the cache holds.
+func benchmarkReplUpdate(b *testing.B, policy string) {
+	const sets, ways = 2048, 16
+	p := repl.MustNew(policy, sets, ways)
+	occupied := make([][]mem.Addr, sets)
+	for s := range occupied {
+		occupied[s] = make([]mem.Addr, ways)
+	}
+	evictable := func(int) bool { return true }
+	var a repl.Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := mem.Addr(i % (4 * sets * ways))
+		set := int(line) % sets
+		a = repl.Access{IP: mem.Addr(i), Line: line, Kind: mem.Load}
+		hitWay := -1
+		for w, l := range occupied[set] {
+			if l == line {
+				hitWay = w
+				break
+			}
+		}
+		if hitWay >= 0 {
+			p.Hit(set, hitWay, &a)
+			continue
+		}
+		w := p.Victim(set, &a, evictable)
+		p.Evicted(set, w)
+		p.Insert(set, w, &a)
+		occupied[set][w] = line
+	}
+}
+
+func BenchmarkReplUpdateLRU(b *testing.B)     { benchmarkReplUpdate(b, "lru") }
+func BenchmarkReplUpdateDRRIP(b *testing.B)   { benchmarkReplUpdate(b, "drrip") }
+func BenchmarkReplUpdateSHiP(b *testing.B)    { benchmarkReplUpdate(b, "ship") }
+func BenchmarkReplUpdateHawkeye(b *testing.B) { benchmarkReplUpdate(b, "hawkeye") }

@@ -1,0 +1,8 @@
+//go:build !atcsim_invariants
+
+package benchmarks
+
+// invariantsEnabled reports whether the atcsim_invariants build tag is on.
+// The audit passes it enables are not written to be allocation-free, so the
+// zero-allocation tests skip under that tag.
+const invariantsEnabled = false

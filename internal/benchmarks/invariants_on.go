@@ -1,0 +1,6 @@
+//go:build atcsim_invariants
+
+package benchmarks
+
+// invariantsEnabled reports whether the atcsim_invariants build tag is on.
+const invariantsEnabled = true

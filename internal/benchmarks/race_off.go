@@ -1,0 +1,8 @@
+//go:build !race
+
+package benchmarks
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation tests skip under -race: the detector instruments memory
+// operations and defeats the escape analysis the assertions pin down.
+const raceEnabled = false

@@ -47,9 +47,12 @@ type Candidate struct {
 // prefetch candidates. Implementations live in internal/prefetch.
 type Prefetcher interface {
 	Name() string
-	// Train observes a demand access (hit or miss) and returns prefetch
-	// candidates.
-	Train(req *mem.Request, hit bool, cycle int64) []Candidate
+	// Train observes a demand access (hit or miss) and appends prefetch
+	// candidates to out, returning the extended slice. The cache passes a
+	// reusable scratch buffer, so implementations must not retain out (or
+	// req) past the call — this is what keeps the steady-state training
+	// path allocation-free.
+	Train(req *mem.Request, hit bool, cycle int64, out []Candidate) []Candidate
 }
 
 // Config describes one cache level.
@@ -127,10 +130,24 @@ type Cache struct {
 	blocks []block
 	policy repl.Policy
 	lower  Lower
+	lowerC *Cache // lower when it is another *Cache: direct-call fast path
 	pf     Prefetcher
 
 	// Outstanding miss completion times for the MSHR occupancy model.
 	mshr []int64
+
+	// Hot-path scratch state. The simulator is single-threaded and none of
+	// the consumers (policies, lower levels, the tracer) retain pointers
+	// past the call, so one instance of each per cache level suffices; the
+	// writeback/prefetch requests a level originates use its own scratch
+	// while the caller's request stays live (see DESIGN.md "Performance").
+	acc          repl.Access
+	wbReq        mem.Request
+	pfReq        mem.Request
+	cands        []Candidate
+	evictableFn  func(int) bool // pre-bound chooseWay filter (no per-miss closure)
+	victimBase   int
+	victimIssued int64
 
 	st     Stats
 	recall *recallTracker
@@ -168,6 +185,12 @@ func New(cfg Config, lower Lower) (*Cache, error) {
 		policy: pol,
 		lower:  lower,
 		mshr:   make([]int64, 0, cfg.MSHRs),
+	}
+	if lc, ok := lower.(*Cache); ok {
+		c.lowerC = lc
+	}
+	c.evictableFn = func(w int) bool {
+		return c.blocks[c.victimBase+w].fillAt <= c.victimIssued
 	}
 	if cfg.TrackRecall {
 		c.recall = newRecallTracker(sets)
@@ -303,13 +326,26 @@ func (c *Cache) mshrFull(cycle int64) bool {
 	return len(c.mshr) >= c.cfg.MSHRs
 }
 
-func access(req *mem.Request) *repl.Access {
-	return &repl.Access{
+// access fills the cache's scratch policy access for req. The returned
+// pointer is valid until the next access() call on this cache; policies
+// consume it synchronously and never retain it.
+func (c *Cache) access(req *mem.Request) *repl.Access {
+	c.acc = repl.Access{
 		IP:    req.IP,
 		Line:  mem.LineAddr(req.Addr),
 		Class: req.Class(),
 		Kind:  req.Kind,
 	}
+	return &c.acc
+}
+
+// lowerAccess forwards a request to the next level, calling another *Cache
+// directly (devirtualized) when possible.
+func (c *Cache) lowerAccess(req *mem.Request, cycle int64) Result {
+	if c.lowerC != nil {
+		return c.lowerC.Access(req, cycle)
+	}
+	return c.lower.Access(req, cycle)
 }
 
 // Access services a request issued at the given cycle. Writebacks are
@@ -336,7 +372,7 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 	if w >= 0 {
 		b := &c.blocks[set*c.ways+w]
 		c.st.Record(cl, false)
-		c.policy.Hit(set, w, access(req))
+		c.policy.Hit(set, w, c.access(req))
 		if req.Kind == mem.Store {
 			b.dirty = true
 		}
@@ -381,8 +417,8 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 	if req.Kind != mem.Translation {
 		start = c.mshrAdmit(cycle)
 	}
-	res := c.lower.Access(req, start+c.cfg.Latency)
-	a := access(req)
+	res := c.lowerAccess(req, start+c.cfg.Latency)
+	a := c.access(req)
 	if bp, ok := c.policy.(repl.Bypasser); ok && bp.ShouldBypass(a) {
 		// Dead-block bypass (CbPred-style): forward without allocating.
 		c.st.Bypasses++
@@ -419,7 +455,7 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 // still in flight at that point are protected from eviction, as MSHR-held
 // fills are in hardware.
 func (c *Cache) fill(set int, line mem.Addr, req *mem.Request, issued int64, res Result) {
-	c.fillWith(set, line, access(req), req, issued, res)
+	c.fillWith(set, line, c.access(req), req, issued, res)
 }
 
 // chooseWay picks the fill way: an invalid way if any, otherwise the
@@ -432,9 +468,10 @@ func (c *Cache) chooseWay(set int, a *repl.Access, issued int64) int {
 			return w
 		}
 	}
-	return c.policy.Victim(set, a, func(w int) bool {
-		return c.blocks[base+w].fillAt <= issued
-	})
+	// The evictable filter is pre-bound at construction; parameterize it
+	// through fields instead of allocating a fresh closure per miss.
+	c.victimBase, c.victimIssued = base, issued
+	return c.policy.Victim(set, a, c.evictableFn)
 }
 
 // evict removes the block at (set, way), writing it back when dirty and
@@ -454,8 +491,11 @@ func (c *Cache) evict(set, way int, cycle int64) {
 	c.policy.Evicted(set, way)
 	if b.dirty {
 		c.st.Writebacks++
-		wb := &mem.Request{Addr: b.line << mem.LineBits, Kind: mem.Writeback}
-		c.lower.Access(wb, cycle)
+		// Scratch writeback request: the lower level absorbs it before
+		// returning and never retains the pointer, and a nested eviction
+		// down there uses that level's own scratch.
+		c.wbReq = mem.Request{Addr: b.line << mem.LineBits, Kind: mem.Writeback}
+		c.lowerAccess(&c.wbReq, cycle)
 	}
 	b.valid = false
 }
@@ -491,7 +531,11 @@ func (c *Cache) maybeTrain(req *mem.Request, hit bool, cycle int64) {
 	if req.Kind != mem.Load && req.Kind != mem.Store {
 		return
 	}
-	for _, cand := range c.pf.Train(req, hit, cycle) {
+	// Train appends into the cache's candidate scratch buffer; Prefetch
+	// never re-enters maybeTrain on the same cache, so iterating the
+	// scratch while issuing is safe.
+	c.cands = c.pf.Train(req, hit, cycle, c.cands[:0])
+	for _, cand := range c.cands {
 		c.Prefetch(cand.Line, cycle+cand.Delay, false)
 	}
 }
@@ -517,8 +561,12 @@ func (c *Cache) Prefetch(line mem.Addr, cycle int64, distant bool) int64 {
 	}
 	c.st.PrefIssued++
 	c.st.Record(mem.ClassPrefetch, true)
-	req := &mem.Request{Addr: line << mem.LineBits, Kind: mem.Prefetch}
-	res := c.lower.Access(req, cycle+c.cfg.Latency)
+	// Scratch prefetch request: a prefetch read cannot trigger another
+	// prefetch on this cache (TEMPO fires only on leaf translations), so
+	// the single scratch is never aliased.
+	c.pfReq = mem.Request{Addr: line << mem.LineBits, Kind: mem.Prefetch}
+	req := &c.pfReq
+	res := c.lowerAccess(req, cycle+c.cfg.Latency)
 	if c.tr.Active() {
 		// ATP/TEMPO prefetches fired inside a sampled request's window show
 		// up on that request's cache lane.
@@ -529,7 +577,7 @@ func (c *Cache) Prefetch(line mem.Addr, cycle int64, distant bool) int64 {
 		c.tr.Span("cache", c.cfg.Name+" prefetch", telemetry.LaneCache, cycle, res.Ready,
 			telemetry.IArg("line", int64(line)), telemetry.IArg("distant", kind))
 	}
-	a := access(req)
+	a := c.access(req)
 	a.Distant = distant
 	c.fillWith(set, line, a, req, cycle, res)
 	c.mshrRecord(res.Ready)

@@ -271,8 +271,8 @@ func TestATPDisabledNoPrefetch(t *testing.T) {
 type onePrefetcher struct{ line mem.Addr }
 
 func (p *onePrefetcher) Name() string { return "one" }
-func (p *onePrefetcher) Train(req *mem.Request, hit bool, cycle int64) []Candidate {
-	return []Candidate{{Line: p.line}}
+func (p *onePrefetcher) Train(req *mem.Request, hit bool, cycle int64, out []Candidate) []Candidate {
+	return append(out, Candidate{Line: p.line})
 }
 
 func TestPrefetcherWiring(t *testing.T) {

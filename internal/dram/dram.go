@@ -76,19 +76,42 @@ func (s *Stats) AvgReadLatency() float64 {
 // slotter books bounded service capacity per time bucket, insensitive to
 // arrival order. Buckets are 2^bucketBits cycles wide and admit cap
 // operations each.
+//
+// Bookings live in a fixed ring covering a 2^slotterWindowBits-cycle window
+// ending at the youngest booked bucket, replacing an earlier map keyed by
+// bucket id: the map was the channel's hottest allocation-and-hash site, and
+// all traffic a channel ever sees clusters within a few thousand cycles (the
+// furthest-future booking is a writeback posted at fill time), far inside
+// the window. Bookings that fall behind the window are treated as free and
+// not recorded, which matches the map version's pruning of ancient buckets.
 type slotter struct {
 	bucketBits uint
-	cap        int
-	used       map[int64]int
-	maxBucket  int64
-	ops        int
+	cap        int32
+	used       []int32 // ring; bucket b lives at used[b&mask]
+	mask       int64
+	base       int64 // lowest tracked bucket id; window is [base, base+len)
 }
+
+// slotterWindowBits sets the tracked window in cycles (2^17 ≈ 33 µs at
+// 4 GHz). It strictly covers the old map implementation's prune horizon
+// (2^16 cycles behind the youngest booking), so any bucket the map would
+// still remember has an exact count here.
+const slotterWindowBits = 17
 
 func newSlotter(bucketBits uint, cap int) *slotter {
 	if cap < 1 {
 		cap = 1
 	}
-	return &slotter{bucketBits: bucketBits, cap: cap, used: make(map[int64]int)}
+	window := int64(1) << (slotterWindowBits - bucketBits)
+	if window < 64 {
+		window = 64
+	}
+	return &slotter{
+		bucketBits: bucketBits,
+		cap:        int32(cap),
+		used:       make([]int32, window),
+		mask:       window - 1,
+	}
 }
 
 // book reserves one service slot at or after cycle `at` and returns the
@@ -98,16 +121,18 @@ func (s *slotter) book(at int64) int64 {
 		at = 0
 	}
 	b := at >> s.bucketBits
-	for s.used[b] >= s.cap {
-		b++
-	}
-	s.used[b]++
-	if b > s.maxBucket {
-		s.maxBucket = b
-	}
-	s.ops++
-	if s.ops >= 1<<14 {
-		s.prune()
+	if b >= s.base {
+		window := int64(len(s.used))
+		for {
+			if b >= s.base+window {
+				s.advance(b)
+			}
+			if s.used[b&s.mask] < s.cap {
+				break
+			}
+			b++
+		}
+		s.used[b&s.mask]++
 	}
 	start := b << s.bucketBits
 	if start < at {
@@ -116,15 +141,22 @@ func (s *slotter) book(at int64) int64 {
 	return start
 }
 
-// prune drops bookings far behind the latest booked bucket to bound memory.
-func (s *slotter) prune() {
-	s.ops = 0
-	horizon := s.maxBucket - (1 << 16 >> s.bucketBits)
-	for b := range s.used {
-		if b < horizon {
-			delete(s.used, b)
+// advance slides the window forward so bucket b is its youngest slot,
+// zeroing the buckets that fall out.
+func (s *slotter) advance(b int64) {
+	window := int64(len(s.used))
+	newBase := b - window + 1
+	if newBase-s.base >= window {
+		// The jump vacates the whole window.
+		for i := range s.used {
+			s.used[i] = 0
+		}
+	} else {
+		for nb := s.base + window; nb <= b; nb++ {
+			s.used[nb&s.mask] = 0
 		}
 	}
+	s.base = newBase
 }
 
 type bank struct {

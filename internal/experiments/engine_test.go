@@ -53,6 +53,45 @@ func TestAllWithDeterministicAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestScratchStateDeterminism targets the zero-allocation hot path: the
+// simulator reuses scratch requests, prefetch-candidate buffers and flat
+// replacement/TLB/DRAM structures, so any accidental sharing between
+// concurrently running simulations (or between the interleaved cores of one
+// simulation) would show up as output divergence across job counts or
+// across repeated sweeps. The experiments chosen hit every reused
+// structure: fig14 (enhancement ladder: hawkeye, ATP prefetchers, TEMPO),
+// fig17 (SMT: two cores interleaving on shared caches) and fig18 (STLB
+// recall tracking).
+func TestScratchStateDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several sweeps")
+	}
+	ids := []string{"fig14", "fig17", "fig18"}
+	sweep := func(jobs int) string {
+		r, err := NewRunnerWith(engineScale(), Options{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, id := range ids {
+			rep, err := ByIDWith(r, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(rep.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	want := sweep(1)
+	for run, jobs := range []int{1, 8, 8} {
+		if got := sweep(jobs); got != want {
+			t.Fatalf("sweep %d (jobs=%d) diverged:\n--- want ---\n%s\n--- got ---\n%s",
+				run, jobs, want, got)
+		}
+	}
+}
+
 // TestDiskCacheResume checks that a second runner pointed at the same cache
 // directory replays every result from disk — zero simulations — and still
 // produces identical output.

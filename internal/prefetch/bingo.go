@@ -54,7 +54,7 @@ func bingoKey(ip mem.Addr, offset uint32) uint32 {
 	return uint32(hashBits(uint64(ip)<<6|uint64(offset), 20))
 }
 
-func (p *bingo) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+func (p *bingo) Train(req *mem.Request, hit bool, cycle int64, out []cache.Candidate) []cache.Candidate {
 	line := mem.LineAddr(req.Addr)
 	region := line / bingoRegionLines
 	offset := uint32(line % bingoRegionLines)
@@ -63,7 +63,7 @@ func (p *bingo) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate
 	if r, ok := p.active[region]; ok {
 		r.footprint |= 1 << offset
 		r.lastTouch = p.tick
-		return nil
+		return out
 	}
 
 	// New region: retire the stalest active region into history first.
@@ -87,13 +87,14 @@ func (p *bingo) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate
 	// Trigger: replay the remembered footprint.
 	fp, ok := p.history[key]
 	if !ok {
-		return nil
+		return out
 	}
 	base := region * bingoRegionLines
-	out := make([]cache.Candidate, 0, p.degree)
-	for o := 0; o < bingoRegionLines && len(out) < p.degree; o++ {
+	emitted := 0
+	for o := 0; o < bingoRegionLines && emitted < p.degree; o++ {
 		if fp&(1<<o) != 0 && uint32(o) != offset {
 			out = append(out, cache.Candidate{Line: base + mem.Addr(o)})
+			emitted++
 		}
 	}
 	return out

@@ -51,9 +51,9 @@ func newIPCP(opts Options) *ipcp {
 
 func (p *ipcp) Name() string { return "ipcp" }
 
-func (p *ipcp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+func (p *ipcp) Train(req *mem.Request, hit bool, cycle int64, out []cache.Candidate) []cache.Candidate {
 	if req.VAddr == 0 {
-		return nil
+		return out
 	}
 	vline := mem.LineAddr(req.VAddr)
 	idx := hashBits(uint64(req.IP), ipcpTableBits)
@@ -95,30 +95,27 @@ func (p *ipcp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate 
 		p.lastRegion = region
 	}
 
-	var out []cache.Candidate
-	emit := func(targetVLine mem.Addr) {
-		va := targetVLine << mem.LineBits
+	// CS class (confident per-IP stride) or GS class (global stream): both
+	// emit degree-deep candidates along their stride on the virtual stream.
+	var step int64
+	if e.conf >= 2 && e.stride != 0 {
+		step = e.stride
+	} else if p.regionRun >= 3 {
+		step = p.dir
+	} else {
+		return out
+	}
+	for i := 1; i <= p.degree; i++ {
+		va := mem.Addr(int64(vline)+step*int64(i)) << mem.LineBits
 		pa, fast := p.translate(va)
 		if pa == 0 {
-			return
+			continue
 		}
 		c := cache.Candidate{Line: mem.LineAddr(pa)}
 		if !fast {
 			c.Delay = ipcpWalkDelay
 		}
 		out = append(out, c)
-	}
-
-	if e.conf >= 2 && e.stride != 0 {
-		// CS class: stride prefetch, degree deep.
-		for i := 1; i <= p.degree; i++ {
-			emit(mem.Addr(int64(vline) + e.stride*int64(i)))
-		}
-	} else if p.regionRun >= 3 {
-		// GS class: stream direction, fetch ahead.
-		for i := 1; i <= p.degree; i++ {
-			emit(mem.Addr(int64(vline) + p.dir*int64(i)))
-		}
 	}
 	return out
 }

@@ -44,7 +44,7 @@ func newISB(opts Options) *isb {
 
 func (p *isb) Name() string { return "isb" }
 
-func (p *isb) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+func (p *isb) Train(req *mem.Request, hit bool, cycle int64, out []cache.Candidate) []cache.Candidate {
 	line := mem.LineAddr(req.Addr)
 
 	// Capacity backstop: a real ISB keeps its mapping in off-chip metadata
@@ -74,7 +74,6 @@ func (p *isb) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
 	p.lastStruct[req.IP] = s
 
 	// Prediction: replay the structural successors.
-	out := make([]cache.Candidate, 0, p.degree)
 	for i := uint64(1); i <= uint64(p.degree); i++ {
 		if phys, ok := p.toPhys[s+i]; ok && phys != line {
 			out = append(out, cache.Candidate{Line: phys})

@@ -71,12 +71,11 @@ func newNextLine(opts Options) *nextLine {
 
 func (p *nextLine) Name() string { return "nextline" }
 
-func (p *nextLine) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+func (p *nextLine) Train(req *mem.Request, hit bool, cycle int64, out []cache.Candidate) []cache.Candidate {
 	if hit {
-		return nil
+		return out
 	}
 	line := mem.LineAddr(req.Addr)
-	out := make([]cache.Candidate, 0, p.degree)
 	for i := 1; i <= p.degree; i++ {
 		next := line + mem.Addr(i)
 		// Stay within the physical page: beyond it the physical neighbour

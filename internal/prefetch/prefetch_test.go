@@ -46,16 +46,16 @@ func TestFactory(t *testing.T) {
 
 func TestNextLine(t *testing.T) {
 	p := newNextLine(Options{Degree: 2})
-	c := p.Train(dl(1, 0x1000), false, 0)
+	c := p.Train(dl(1, 0x1000), false, 0, nil)
 	if len(c) != 2 || c[0].Line != mem.LineAddr(0x1040) || c[1].Line != mem.LineAddr(0x1080) {
 		t.Errorf("candidates = %v", lines(c))
 	}
 	// Hits do not trigger.
-	if c := p.Train(dl(1, 0x1000), true, 0); len(c) != 0 {
+	if c := p.Train(dl(1, 0x1000), true, 0, nil); len(c) != 0 {
 		t.Error("hit triggered next-line")
 	}
 	// Page boundary: no crossing.
-	if c := p.Train(dl(1, 0x1FC0), false, 0); len(c) != 0 {
+	if c := p.Train(dl(1, 0x1FC0), false, 0, nil); len(c) != 0 {
 		t.Errorf("crossed page: %v", lines(c))
 	}
 }
@@ -66,7 +66,7 @@ func TestIPCPConstantStride(t *testing.T) {
 	var got []cache.Candidate
 	// Stride of 2 lines, repeated to build confidence.
 	for i := 0; i < 6; i++ {
-		got = p.Train(dl(ip, mem.Addr(i)*128), false, 0)
+		got = p.Train(dl(ip, mem.Addr(i)*128), false, 0, nil)
 	}
 	if len(got) != 2 {
 		t.Fatalf("CS candidates = %v", lines(got))
@@ -90,7 +90,7 @@ func TestIPCPCrossPageDelay(t *testing.T) {
 	ip := mem.Addr(0x400200)
 	var got []cache.Candidate
 	for i := 0; i < 6; i++ {
-		got = p.Train(dl(ip, mem.Addr(i)*mem.PageSize), false, 0)
+		got = p.Train(dl(ip, mem.Addr(i)*mem.PageSize), false, 0, nil)
 	}
 	if len(got) != 1 {
 		t.Fatalf("candidates = %d", len(got))
@@ -108,7 +108,7 @@ func TestIPCPUntranslatable(t *testing.T) {
 	ip := mem.Addr(0x400300)
 	var got []cache.Candidate
 	for i := 0; i < 6; i++ {
-		got = p.Train(dl(ip, mem.Addr(i)*64), false, 0)
+		got = p.Train(dl(ip, mem.Addr(i)*64), false, 0, nil)
 	}
 	if len(got) != 0 {
 		t.Error("untranslatable candidates emitted")
@@ -121,7 +121,7 @@ func TestSPPLearnsDeltaPath(t *testing.T) {
 	// Walk offsets 0,1,2,...: constant delta +1 within one page.
 	var got []cache.Candidate
 	for i := 0; i < 20; i++ {
-		got = p.Train(dl(3, page+mem.Addr(i)*64), false, 0)
+		got = p.Train(dl(3, page+mem.Addr(i)*64), false, 0, nil)
 	}
 	if len(got) == 0 {
 		t.Fatal("SPP produced no candidates on a streaming pattern")
@@ -147,7 +147,7 @@ func TestSPPStaysSilentOnRandom(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
 		addr := mem.Addr(x % (1 << 26))
-		total += len(p.Train(dl(4, addr), false, 0))
+		total += len(p.Train(dl(4, addr), false, 0, nil))
 	}
 	if total > 50 {
 		t.Errorf("SPP emitted %d candidates on a random stream", total)
@@ -159,17 +159,17 @@ func TestBingoReplaysFootprint(t *testing.T) {
 	ip := mem.Addr(0x400400)
 	regionA := mem.Addr(0) // lines 0..31
 	// Touch a footprint in region A: trigger offset 0, then 3, 7, 9.
-	p.Train(dl(ip, regionA), false, 0)
+	p.Train(dl(ip, regionA), false, 0, nil)
 	for _, o := range []mem.Addr{3, 7, 9} {
-		p.Train(dl(ip, regionA+o*64), false, 0)
+		p.Train(dl(ip, regionA+o*64), false, 0, nil)
 	}
 	// Fill the active table to retire region A into history.
 	for i := 1; i <= bingoActiveCap; i++ {
-		p.Train(dl(9, mem.Addr(i)*2048), false, 0)
+		p.Train(dl(9, mem.Addr(i)*2048), false, 0, nil)
 	}
 	// Re-trigger a *different* region with the same (PC, offset) event.
 	regionB := mem.Addr(200 * 2048)
-	got := p.Train(dl(ip, regionB), false, 0)
+	got := p.Train(dl(ip, regionB), false, 0, nil)
 	want := map[mem.Addr]bool{
 		mem.LineAddr(regionB + 3*64): true,
 		mem.LineAddr(regionB + 7*64): true,
@@ -192,10 +192,10 @@ func TestISBTemporalReplay(t *testing.T) {
 	chain := []mem.Addr{0x10000, 0x93000, 0x22000, 0x71000, 0x5A000}
 	// First traversal: training only.
 	for _, a := range chain {
-		p.Train(dl(ip, a), false, 0)
+		p.Train(dl(ip, a), false, 0, nil)
 	}
 	// Second traversal: accessing chain[0] must prefetch chain[1] (and [2]).
-	got := p.Train(dl(ip, chain[0]), false, 0)
+	got := p.Train(dl(ip, chain[0]), false, 0, nil)
 	if len(got) < 1 {
 		t.Fatal("ISB produced nothing on a repeated chain")
 	}
@@ -212,9 +212,9 @@ func TestISBCrossPage(t *testing.T) {
 	p := newISB(Options{Degree: 1})
 	ip := mem.Addr(0x400600)
 	a, b := mem.Addr(0x10000), mem.Addr(0x93000)
-	p.Train(dl(ip, a), false, 0)
-	p.Train(dl(ip, b), false, 0)
-	got := p.Train(dl(ip, a), false, 0)
+	p.Train(dl(ip, a), false, 0, nil)
+	p.Train(dl(ip, b), false, 0, nil)
+	got := p.Train(dl(ip, a), false, 0, nil)
 	if len(got) != 1 || mem.PageNumber(got[0].Line<<6) == mem.PageNumber(a) {
 		t.Errorf("ISB did not cross pages: %v", lines(got))
 	}
@@ -229,7 +229,7 @@ func TestIPCPGlobalStream(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		ip := mem.Addr(0x400000 + i*8) // fresh IP each access
 		addr := mem.Addr(i) * 2048     // one new region per access, ascending
-		got = p.Train(dl(ip, addr), false, 0)
+		got = p.Train(dl(ip, addr), false, 0, nil)
 	}
 	if len(got) == 0 {
 		t.Fatal("GS class produced no candidates on a monotone region stream")

@@ -59,7 +59,7 @@ func sppSigUpdate(sig uint16, delta int8) uint16 {
 	return (sig<<3 ^ uint16(uint8(delta))) & (1<<sppSigBits - 1)
 }
 
-func (p *spp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
+func (p *spp) Train(req *mem.Request, hit bool, cycle int64, out []cache.Candidate) []cache.Candidate {
 	line := mem.LineAddr(req.Addr)
 	page := mem.PageNumber(req.Addr)
 	off := int8(line & (mem.LinesPerPage - 1))
@@ -67,11 +67,11 @@ func (p *spp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
 	e := &p.st[uint32(page)%sppSTEntries]
 	if !e.valid || e.page != page {
 		*e = sppSTEntry{page: page, lastOff: off, valid: true}
-		return nil
+		return out
 	}
 	delta := off - e.lastOff
 	if delta == 0 {
-		return nil
+		return out
 	}
 	// Train the pattern table for the old signature.
 	p.learn(e.sig, delta)
@@ -79,11 +79,11 @@ func (p *spp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
 	e.lastOff = off
 
 	// Lookahead walk from the current signature.
-	var out []cache.Candidate
+	emitted := 0
 	sig := e.sig
 	cur := int16(off)
 	conf := 100
-	for depth := 0; depth < sppMaxDepth && len(out) < p.degree; depth++ {
+	for depth := 0; depth < sppMaxDepth && emitted < p.degree; depth++ {
 		d, c, tot := p.best(sig)
 		if tot == 0 {
 			break
@@ -97,6 +97,7 @@ func (p *spp) Train(req *mem.Request, hit bool, cycle int64) []cache.Candidate {
 			break // page boundary: SPP does not cross pages
 		}
 		out = append(out, cache.Candidate{Line: page<<6 | mem.Addr(cur)})
+		emitted++
 		sig = sppSigUpdate(sig, d)
 	}
 	return out

@@ -48,6 +48,13 @@ type Walker struct {
 	slots   []int64 // completion times of in-flight walks
 	maxSlot int
 	tr      *telemetry.Tracer
+
+	// Scratch state reused across walks: the step buffer handed to
+	// vm.WalkInto and the PTE-read request issued into the cache path. A
+	// walk issues its reads sequentially and each request is consumed by
+	// the hierarchy before the next begins, so one of each suffices.
+	steps []vm.WalkStep
+	req   mem.Request
 }
 
 // NewWalker wires a walker to a page table, paging-structure caches and the
@@ -133,13 +140,14 @@ func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
 			telemetry.IArg("start_level", int64(start)))
 	}
 
-	steps, pa, err := w.pt.Walk(va, start)
+	steps, pa, err := w.pt.WalkInto(va, start, w.steps[:0])
 	if err != nil {
 		return WalkResult{}, err
 	}
+	w.steps = steps[:0]
 	var leafSrc mem.Level
 	for _, s := range steps {
-		req := &mem.Request{
+		w.req = mem.Request{
 			Addr:  s.PTEAddr,
 			VAddr: va,
 			IP:    ip,
@@ -148,6 +156,7 @@ func (w *Walker) Walk(va, ip mem.Addr, cycle int64) (WalkResult, error) {
 			Leaf:  s.Leaf,
 			Core:  w.core,
 		}
+		req := &w.req
 		if s.Leaf {
 			// The walker carries VA[11:6]; combined with the PTE's frame it
 			// identifies the replay line (precomputed here — see DESIGN.md).

@@ -12,12 +12,13 @@ import "atcsim/internal/mem"
 // signatures; transMRU pins leaf translations at RRPV=0 (T-Hawkeye).
 
 const (
-	hawkMaxRRPV    = 7 // 3-bit RRPV
-	hawkAgeCap     = 6 // friendly blocks age up to 6, never to 7
-	hawkPredBits   = 13
-	hawkPredMax    = 7
-	hawkPredInit   = 4  // weakly friendly
-	hawkSampleMask = 15 // one in 16 sets feeds OPTgen
+	hawkMaxRRPV     = 7 // 3-bit RRPV
+	hawkAgeCap      = 6 // friendly blocks age up to 6, never to 7
+	hawkPredBits    = 13
+	hawkPredMax     = 7
+	hawkPredInit    = 4  // weakly friendly
+	hawkSampleMask  = 15 // one in 16 sets feeds OPTgen
+	hawkSampleShift = 4  // log2(hawkSampleMask+1)
 )
 
 type hawkeyeOpts struct {
@@ -25,18 +26,47 @@ type hawkeyeOpts struct {
 	transMRU bool
 }
 
-// optEntry is the sampler's record of the previous access to a line.
+// optEntry is the sampler's record of the previous access to a line, held
+// in an open-addressed table slot.
 type optEntry struct {
+	line    mem.Addr
 	quantum uint32
 	sig     uint32
+	used    bool
 }
 
 // optSet is OPTgen state for one sampled set: a sliding occupancy vector
 // over time quanta (one quantum per access) plus the last-access history.
+//
+// The history is an open-addressed hash table with linear probing instead
+// of a Go map: train() hits it on every sampled access, and the table keeps
+// that path allocation- and hashing-overhead-free. Entries are only removed
+// by the periodic sweep, which rebuilds into a ping-pong spare buffer, so
+// tombstones are never needed. The sweep detrains expired signatures with
+// saturating decrements, which commute — iteration order (randomized for
+// the map, sequential here) cannot change the resulting predictor state.
 type optSet struct {
 	occ     []uint16 // ring buffer, len = window
 	quantum uint32
-	hist    map[mem.Addr]optEntry
+	hist    []optEntry // open-addressed, len power of two
+	spare   []optEntry // sweep rebuild target, same length
+	shift   uint       // 64 - log2(len(hist))
+	count   int        // used slots in hist
+}
+
+// slot returns the table slot for line: its current entry, or the free slot
+// where it belongs. The table always has free slots (the sweep triggers at
+// half load), so the probe terminates.
+func (s *optSet) slot(line mem.Addr) *optEntry {
+	mask := uint64(len(s.hist) - 1)
+	i := uint64(line) * 0x9E3779B97F4A7C15 >> s.shift
+	for {
+		e := &s.hist[i&mask]
+		if !e.used || e.line == line {
+			return e
+		}
+		i++
+	}
 }
 
 type hawkeye struct {
@@ -49,7 +79,7 @@ type hawkeye struct {
 	friendly []bool
 	trained  []bool
 	pred     []uint8
-	samples  map[int]*optSet
+	samples  []*optSet // indexed by set >> hawkSampleShift; nil until touched
 	nameStr  string
 }
 
@@ -68,7 +98,7 @@ func newHawkeye(sets, ways int, opts hawkeyeOpts) *hawkeye {
 		friendly: make([]bool, sets*ways),
 		trained:  make([]bool, sets*ways),
 		pred:     make([]uint8, 1<<hawkPredBits),
-		samples:  make(map[int]*optSet),
+		samples:  make([]*optSet, (sets+hawkSampleMask)>>hawkSampleShift),
 		nameStr:  name,
 	}
 	for i := range p.rrpv {
@@ -86,10 +116,21 @@ func (p *hawkeye) sampled(set int) *optSet {
 	if set&hawkSampleMask != 0 {
 		return nil
 	}
-	s, ok := p.samples[set]
-	if !ok {
-		s = &optSet{occ: make([]uint16, p.window), hist: make(map[mem.Addr]optEntry)}
-		p.samples[set] = s
+	s := p.samples[set>>hawkSampleShift]
+	if s == nil {
+		// The table holds at most 4*window+1 entries between sweeps; sizing
+		// it to the next power of two ≥ 8*window keeps the load factor at or
+		// below ~one half so probes stay short.
+		cap := 1
+		for cap < 8*int(p.window) {
+			cap <<= 1
+		}
+		shift := uint(64)
+		for c := cap; c > 1; c >>= 1 {
+			shift--
+		}
+		s = &optSet{occ: make([]uint16, p.window), hist: make([]optEntry, cap), shift: shift}
+		p.samples[set>>hawkSampleShift] = s
 	}
 	return s
 }
@@ -106,8 +147,9 @@ func (p *hawkeye) train(set int, a *Access, sig uint32) {
 	// The quantum slot now is being reused: clear it for the new window edge.
 	s.occ[now%p.window] = 0
 
-	prev, seen := s.hist[a.Line]
-	if seen {
+	e := s.slot(a.Line)
+	if e.used {
+		prev := e
 		age := now - prev.quantum
 		switch {
 		case age == 0:
@@ -138,19 +180,45 @@ func (p *hawkeye) train(set int, a *Access, sig uint32) {
 			}
 		}
 	}
-	s.hist[a.Line] = optEntry{quantum: now, sig: sig}
+	if !e.used {
+		e.used = true
+		e.line = a.Line
+		s.count++
+	}
+	e.quantum = now
+	e.sig = sig
 
 	// Bound the sampler history: entries that fell out of the window are
 	// evicted from the sampler, and — as in Hawkeye's sampled cache — an
 	// entry leaving without an in-window reuse detrains its signature.
-	if len(s.hist) > 4*int(p.window) {
-		for l, e := range s.hist {
+	if s.count > 4*int(p.window) {
+		p.sweep(s, now)
+	}
+}
+
+// sweep rebuilds the history table into the spare buffer, dropping entries
+// older than the window and detraining their signatures. Only a bounded
+// number of entries can be in-window (one access per quantum), so the table
+// shrinks well below the sweep threshold and sweeps stay rare.
+func (p *hawkeye) sweep(s *optSet, now uint32) {
+	if s.spare == nil {
+		s.spare = make([]optEntry, len(s.hist))
+	}
+	old := s.hist
+	s.hist, s.spare = s.spare, old
+	s.count = 0
+	for i := range old {
+		e := &old[i]
+		if e.used {
 			if now-e.quantum >= p.window {
 				if p.pred[e.sig] > 0 {
 					p.pred[e.sig]--
 				}
-				delete(s.hist, l)
+			} else {
+				*s.slot(e.line) = *e
+				s.count++
 			}
+			*e = optEntry{} // leave the old buffer clean for the next swap
 		}
 	}
 }

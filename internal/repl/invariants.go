@@ -67,12 +67,26 @@ func (p *hawkeye) CheckInvariants() error {
 			return fmt.Errorf("repl %s: rrpv[%d]=%d exceeds max %d", p.Name(), i, v, hawkMaxRRPV)
 		}
 	}
-	for set, s := range p.samples {
+	for idx, s := range p.samples {
+		if s == nil {
+			continue
+		}
+		set := idx << hawkSampleShift
 		for q, occ := range s.occ {
 			if occ > uint16(p.ways) {
 				return fmt.Errorf("repl %s: OPTgen set %d quantum slot %d occupancy %d exceeds ways %d",
 					p.Name(), set, q, occ, p.ways)
 			}
+		}
+		used := 0
+		for i := range s.hist {
+			if s.hist[i].used {
+				used++
+			}
+		}
+		if used != s.count {
+			return fmt.Errorf("repl %s: OPTgen set %d history count %d but %d used slots",
+				p.Name(), set, s.count, used)
 		}
 	}
 	return nil

@@ -30,6 +30,11 @@ type coreCtx struct {
 	stlb   *tlb.TLB
 	lastIL mem.Addr
 
+	// req is the per-core scratch request reused across steps. Each cache
+	// level keeps its own scratch for writebacks/prefetches, and the request
+	// is fully consumed before step returns, so one per core suffices.
+	req mem.Request
+
 	replayService stats.ServiceDist
 	lastLoadDone  int64
 
@@ -305,8 +310,8 @@ func (s *sim) step(c *coreCtx) {
 		c.lastIL = il
 		tr, err := c.mmu.TranslateInstr(in.IP, in.IP, d)
 		if err == nil {
-			req := &mem.Request{Addr: tr.PA, VAddr: in.IP, IP: in.IP, Kind: mem.IFetch, Core: c.id}
-			res := c.l1i.Access(req, tr.Ready)
+			c.req = mem.Request{Addr: tr.PA, VAddr: in.IP, IP: in.IP, Kind: mem.IFetch, Core: c.id}
+			res := c.l1i.Access(&c.req, tr.Ready)
 			if eff := res.Ready - s.cfg.L1I.Latency; eff > d {
 				c.core.FrontendStall(eff)
 				d = c.core.NextDispatch()
@@ -339,7 +344,7 @@ func (s *sim) step(c *coreCtx) {
 			c.core.Dispatch(cpu.Entry{Complete: d + exec})
 			return
 		}
-		req := &mem.Request{
+		c.req = mem.Request{
 			Addr: tr.PA, VAddr: in.Addr, IP: in.IP,
 			Kind: mem.Load, IsReplay: tr.STLBMiss, Core: c.id,
 		}
@@ -352,7 +357,7 @@ func (s *sim) step(c *coreCtx) {
 				s.tracer.Span("request", "replay-issue", telemetry.LaneRequest, tr.Ready, issue)
 			}
 		}
-		res := c.l1d.Access(req, issue)
+		res := c.l1d.Access(&c.req, issue)
 		if tr.STLBMiss {
 			c.replayService.Record(res.Src)
 		}
@@ -373,11 +378,11 @@ func (s *sim) step(c *coreCtx) {
 			c.core.Dispatch(cpu.Entry{Complete: d + exec})
 			return
 		}
-		req := &mem.Request{
+		c.req = mem.Request{
 			Addr: tr.PA, VAddr: in.Addr, IP: in.IP,
 			Kind: mem.Store, IsReplay: tr.STLBMiss, Core: c.id,
 		}
-		c.l1d.Access(req, tr.Ready)
+		c.l1d.Access(&c.req, tr.Ready)
 		// Stores retire once translated (store-buffer commit); the write
 		// drains in the background.
 		complete := d + exec
@@ -434,15 +439,25 @@ func (s *sim) phase(target int) {
 }
 
 func (s *sim) resetStats() {
-	seen := map[*cache.Cache]bool{}
+	// The hierarchy has at most 3 distinct core caches per core; a small
+	// slice beats a map allocation here (SMT cores share cache instances,
+	// so dedup is still required).
+	seen := make([]*cache.Cache, 0, 3*len(s.cores))
 	for _, c := range s.cores {
 		c.core.ResetStats()
 		c.mmu.ResetStats()
 		c.replayService.Reset()
 		for _, ca := range []*cache.Cache{c.l1i, c.l1d, c.l2} {
-			if !seen[ca] {
+			dup := false
+			for _, p := range seen {
+				if p == ca {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				ca.ResetStats()
-				seen[ca] = true
+				seen = append(seen, ca)
 			}
 		}
 	}

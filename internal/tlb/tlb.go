@@ -51,18 +51,25 @@ type TLB struct {
 	st    Stats
 	tr    *telemetry.Tracer
 
-	// 2MB-page entries: fully associative, LRU.
-	huge map[mem.Addr]*hugeEntry
+	// 2MB-page entries: fully associative, LRU. A flat array with linear
+	// search — the array holds at most a few dozen entries, and scanning it
+	// beats a map's hashing and per-entry allocations. nil until the first
+	// huge-page insert so the common no-huge-pages lookup is one branch.
+	huge []hugeEntry
 
-	// recall tracking (per set), mirroring the cache recall tracker.
+	// recall tracking, mirroring the cache recall tracker. Evicted VPNs of
+	// all sets share one map: a VPN determines its set, so keying by VPN
+	// alone is equivalent to the earlier per-set map-of-maps and avoids one
+	// map header per set.
 	recSeq     []uint64
 	recLast    []mem.Addr
-	recEvict   []map[mem.Addr]uint64
+	recEvict   map[mem.Addr]uint64
 	recHist    *stats.Histogram
 	recEvTotal uint64
 }
 
 type hugeEntry struct {
+	hpn   mem.Addr
 	frame mem.Addr
 	stamp uint64
 }
@@ -81,7 +88,7 @@ func New(cfg Config) (*TLB, error) {
 	if cfg.TrackRecall {
 		t.recSeq = make([]uint64, sets)
 		t.recLast = make([]mem.Addr, sets)
-		t.recEvict = make([]map[mem.Addr]uint64, sets)
+		t.recEvict = make(map[mem.Addr]uint64)
 		t.recHist = stats.NewHistogram(stats.RecallBounds...)
 	}
 	return t, nil
@@ -134,11 +141,14 @@ func (t *TLB) setOf(vpn mem.Addr) int { return int(vpn) & (t.sets - 1) }
 // huge hit — and refreshes LRU state.
 func (t *TLB) Lookup(va mem.Addr) (frame mem.Addr, hit bool) {
 	if t.huge != nil {
-		if e, ok := t.huge[mem.HugePageNumber(va)]; ok {
-			t.st.Accesses++
-			t.clock++
-			e.stamp = t.clock
-			return e.frame, true
+		hpn := mem.HugePageNumber(va)
+		for i := range t.huge {
+			if e := &t.huge[i]; e.hpn == hpn {
+				t.st.Accesses++
+				t.clock++
+				e.stamp = t.clock
+				return e.frame, true
+			}
 		}
 	}
 	vpn := mem.PageNumber(va)
@@ -204,11 +214,9 @@ func (t *TLB) observeRecall(set int, vpn mem.Addr) {
 		t.recSeq[set]++
 		t.recLast[set] = vpn
 	}
-	if m := t.recEvict[set]; m != nil {
-		if at, ok := m[vpn]; ok {
-			t.recHist.Add(t.recSeq[set] - at)
-			delete(m, vpn)
-		}
+	if at, ok := t.recEvict[vpn]; ok {
+		t.recHist.Add(t.recSeq[set] - at)
+		delete(t.recEvict, vpn)
 	}
 }
 
@@ -216,11 +224,8 @@ func (t *TLB) evictRecall(set int, vpn mem.Addr) {
 	if t.recHist == nil {
 		return
 	}
-	if t.recEvict[set] == nil {
-		t.recEvict[set] = make(map[mem.Addr]uint64)
-	}
 	t.recEvTotal++
-	t.recEvict[set][vpn] = t.recSeq[set]
+	t.recEvict[vpn] = t.recSeq[set]
 }
 
 // RecallEvictions returns the number of tracked evictions (the denominator
@@ -236,33 +241,36 @@ func (t *TLB) InsertHuge(va, frame mem.Addr) {
 		return
 	}
 	if t.huge == nil {
-		t.huge = make(map[mem.Addr]*hugeEntry, t.cfg.HugeEntries)
+		t.huge = make([]hugeEntry, 0, t.cfg.HugeEntries)
 	}
 	key := mem.HugePageNumber(va)
-	if e, ok := t.huge[key]; ok {
-		e.frame = frame
-		t.clock++
-		e.stamp = t.clock
-		return
+	for i := range t.huge {
+		if e := &t.huge[i]; e.hpn == key {
+			e.frame = frame
+			t.clock++
+			e.stamp = t.clock
+			return
+		}
 	}
 	if len(t.huge) >= t.cfg.HugeEntries {
-		var victim mem.Addr
-		var oldest uint64 = ^uint64(0)
-		for k, e := range t.huge {
-			if e.stamp < oldest {
-				oldest = e.stamp
-				victim = k
+		// Evict LRU: stamps are unique, so the victim is deterministic.
+		victim := 0
+		for i := range t.huge {
+			if t.huge[i].stamp < t.huge[victim].stamp {
+				victim = i
 			}
 		}
-		delete(t.huge, victim)
+		hpn := t.huge[victim].hpn
+		t.huge[victim] = t.huge[len(t.huge)-1]
+		t.huge = t.huge[:len(t.huge)-1]
 		t.st.Evictions++
 		if t.tr.Active() {
 			t.tr.Instant("tlb", t.cfg.Name+" evict-huge", telemetry.LaneMMU,
-				telemetry.IArg("hpn", int64(victim)))
+				telemetry.IArg("hpn", int64(hpn)))
 		}
 	}
 	t.clock++
-	t.huge[key] = &hugeEntry{frame: frame, stamp: t.clock}
+	t.huge = append(t.huge, hugeEntry{hpn: key, frame: frame, stamp: t.clock})
 }
 
 // PSC is the set of paging-structure caches, one fully-associative LRU
@@ -280,13 +288,18 @@ type PSCStats struct {
 	Hits    [mem.PTLevels + 1]uint64 // index by level
 }
 
+// pscLevel is one fully-associative level, held as a flat array scanned
+// linearly: capacities are tiny (2..32 entries, Table I), where a scan is
+// cheaper than map hashing and allocates nothing. LRU stamps are unique, so
+// eviction is deterministic.
 type pscLevel struct {
 	cap   int
-	ents  map[uint64]*pscEntry
+	ents  []pscEntry
 	clock uint64
 }
 
 type pscEntry struct {
+	key   uint64
 	frame mem.Addr
 	stamp uint64
 }
@@ -302,11 +315,14 @@ func DefaultPSCSizes() PSCSizes { return PSCSizes{L2: 32, L3: 8, L4: 4, L5: 2} }
 // NewPSC builds the paging-structure caches.
 func NewPSC(sizes PSCSizes) *PSC {
 	p := &PSC{}
-	for lvl, n := range map[int]int{2: sizes.L2, 3: sizes.L3, 4: sizes.L4, 5: sizes.L5} {
+	for lvl, n := range [...]int{2: sizes.L2, 3: sizes.L3, 4: sizes.L4, 5: sizes.L5} {
+		if lvl < 2 {
+			continue
+		}
 		if n <= 0 {
 			n = 1
 		}
-		p.caches[lvl] = &pscLevel{cap: n, ents: make(map[uint64]*pscEntry, n)}
+		p.caches[lvl] = &pscLevel{cap: n, ents: make([]pscEntry, 0, n)}
 	}
 	return p
 }
@@ -325,11 +341,14 @@ func (p *PSC) Lookup(va mem.Addr) (startLevel int) {
 	p.st.Lookups++
 	for lvl := 2; lvl <= mem.PTLevels; lvl++ {
 		c := p.caches[lvl]
-		if e, ok := c.ents[mem.VPNPrefix(va, lvl)]; ok {
-			c.clock++
-			e.stamp = c.clock
-			p.st.Hits[lvl]++
-			return lvl - 1
+		key := mem.VPNPrefix(va, lvl)
+		for i := range c.ents {
+			if e := &c.ents[i]; e.key == key {
+				c.clock++
+				e.stamp = c.clock
+				p.st.Hits[lvl]++
+				return lvl - 1
+			}
 		}
 	}
 	return mem.PTLevels
@@ -343,24 +362,25 @@ func (p *PSC) Insert(va mem.Addr, k int, frame mem.Addr) {
 	}
 	c := p.caches[k]
 	key := mem.VPNPrefix(va, k)
-	if e, ok := c.ents[key]; ok {
-		e.frame = frame
-		c.clock++
-		e.stamp = c.clock
-		return
+	for i := range c.ents {
+		if e := &c.ents[i]; e.key == key {
+			e.frame = frame
+			c.clock++
+			e.stamp = c.clock
+			return
+		}
 	}
 	if len(c.ents) >= c.cap {
-		// Evict LRU.
-		var victim uint64
-		var oldest uint64 = ^uint64(0)
-		for key, e := range c.ents {
-			if e.stamp < oldest {
-				oldest = e.stamp
-				victim = key
+		// Evict LRU: stamps are unique, so the victim is deterministic.
+		victim := 0
+		for i := range c.ents {
+			if c.ents[i].stamp < c.ents[victim].stamp {
+				victim = i
 			}
 		}
-		delete(c.ents, victim)
+		c.ents[victim] = c.ents[len(c.ents)-1]
+		c.ents = c.ents[:len(c.ents)-1]
 	}
 	c.clock++
-	c.ents[key] = &pscEntry{frame: frame, stamp: c.clock}
+	c.ents = append(c.ents, pscEntry{key: key, frame: frame, stamp: c.clock})
 }

@@ -253,6 +253,13 @@ func (pt *PageTable) frameOf(va mem.Addr) (mem.Addr, error) {
 // first touch. startLevel trims the walk for paging-structure-cache hits:
 // only steps with Level <= startLevel are returned.
 func (pt *PageTable) Walk(va mem.Addr, startLevel int) ([]WalkStep, mem.Addr, error) {
+	return pt.WalkInto(va, startLevel, nil)
+}
+
+// WalkInto is Walk with a caller-provided scratch buffer: steps are appended
+// to buf (normally buf[:0] of a reused slice), so steady-state walks do not
+// allocate. The returned slice aliases buf's backing array when it fits.
+func (pt *PageTable) WalkInto(va mem.Addr, startLevel int, buf []WalkStep) ([]WalkStep, mem.Addr, error) {
 	if startLevel < 1 || startLevel > mem.PTLevels {
 		return nil, 0, fmt.Errorf("vm: bad start level %d", startLevel)
 	}
@@ -262,7 +269,7 @@ func (pt *PageTable) Walk(va mem.Addr, startLevel int) ([]WalkStep, mem.Addr, er
 		return nil, 0, err
 	}
 	leaf := pt.leafLevel()
-	steps := make([]WalkStep, 0, startLevel)
+	steps := buf
 	n := pt.root
 	for level := mem.PTLevels; level > leaf; level-- {
 		idx := uint16(mem.VPNChunk(va, level))
