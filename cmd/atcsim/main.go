@@ -12,11 +12,11 @@
 //
 //	atcsim -workload pr -trace-out trace.json            # Perfetto trace
 //	atcsim -workload pr -interval-stats hb.csv -interval 10000
+//	atcsim -workload pr -metrics-addr localhost:9090     # live /metrics
 //	atcsim -workload pr -pprof-addr localhost:6060 -cpuprofile cpu.pb.gz
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"atcsim"
+	"atcsim/internal/metrics"
 	"atcsim/internal/telemetry"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		hbOut       = flag.String("interval-stats", "", "stream interval heartbeat stats to this file (.jsonl for JSONL, else CSV)")
 		hbEvery     = flag.Int("interval", 10_000, "heartbeat interval in measured instructions")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (OpenMetrics) and /healthz on this host:port (port 0 picks one)")
+		metricsLog  = flag.String("metrics-log", "", "append a JSONL metrics snapshot to this file at every heartbeat interval")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -115,11 +118,62 @@ func main() {
 
 	// Telemetry hub: each facility only exists when requested, so the
 	// default run carries a nil hub and a pristine hot path.
-	hub, hbFile := buildHub(*traceOut, *traceBuf, *traceSample, *hbOut, *hbEvery, *pprofAddr != "")
+	liveMetrics := *metricsAddr != "" || *metricsLog != ""
+	hub, hbFile := buildHub(*traceOut, *traceBuf, *traceSample, *hbOut, *hbEvery,
+		*pprofAddr != "" || liveMetrics)
 	cfg.Telemetry = hub
 
+	// The metrics registry is the single live-introspection surface: the
+	// progress gauges reach expvar through it (PublishExpvar), and the sim_*
+	// gauges are refreshed from heartbeat snapshots via Hub.OnTick — never
+	// from the per-access hot path.
+	var mlog *os.File
+	if liveMetrics || *pprofAddr != "" {
+		reg := metrics.New()
+		reg.GaugeFunc("sim_instructions_done",
+			"Instructions simulated so far (coarse, for liveness).",
+			func() float64 { return float64(hub.ProgressOrNil().Done()) })
+		reg.GaugeFunc("sim_instructions_total",
+			"Instructions this run will simulate.",
+			func() float64 { return float64(hub.ProgressOrNil().Total()) })
+		metrics.PublishExpvar("atcsim", reg)
+		if liveMetrics {
+			if hub.Heartbeat == nil {
+				// OnTick rides the heartbeat cadence; a writer-less heartbeat
+				// provides the ticks without streaming interval stats.
+				hub.Heartbeat = telemetry.NewHeartbeat(nil, telemetry.FormatJSONL, *hbEvery)
+			}
+			gauges := telemetry.NewSnapshotGauges(reg)
+			if *metricsLog != "" {
+				f, err := os.Create(*metricsLog)
+				if err != nil {
+					fail("metrics-log: %v", err)
+				}
+				mlog = f
+			}
+			seq := 0 // OnTick runs on the single simulator goroutine
+			hub.OnTick = func(sn telemetry.Snapshot) {
+				gauges.Publish(sn)
+				if mlog != nil {
+					if err := reg.WriteJSONLSnapshot(mlog, seq); err != nil {
+						fail("metrics-log: %v", err)
+					}
+					seq++
+				}
+			}
+			if *metricsAddr != "" {
+				srv := &metrics.Server{Registry: reg}
+				addr, err := srv.Serve(*metricsAddr)
+				if err != nil {
+					fail("%v", err)
+				}
+				fmt.Fprintf(os.Stderr, "atcsim: metrics listening on http://%s/metrics\n", addr)
+			}
+		}
+	}
+
 	if *pprofAddr != "" {
-		servePprof(*pprofAddr, hub)
+		servePprof(*pprofAddr)
 	}
 
 	traceLen := *insts + *warmup
@@ -146,6 +200,11 @@ func main() {
 	}
 
 	flushTelemetry(hub, hbFile, *traceOut)
+	if mlog != nil {
+		if err := mlog.Close(); err != nil {
+			fail("metrics-log: %v", err)
+		}
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -200,14 +259,10 @@ func buildHub(traceOut string, traceBuf, traceSample int, hbOut string, hbEvery 
 	return hub, hbFile
 }
 
-// servePprof exposes net/http/pprof, expvar and simulation progress on addr.
-func servePprof(addr string, hub *telemetry.Hub) {
-	expvar.Publish("sim_instructions_done", expvar.Func(func() any {
-		return hub.ProgressOrNil().Done()
-	}))
-	expvar.Publish("sim_instructions_total", expvar.Func(func() any {
-		return hub.ProgressOrNil().Total()
-	}))
+// servePprof exposes net/http/pprof and expvar on addr. Simulation progress
+// appears under the "atcsim" expvar (the published metrics registry) rather
+// than as hand-rolled top-level vars.
+func servePprof(addr string) {
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "atcsim: pprof server: %v\n", err)

@@ -26,20 +26,33 @@ func main() {
 	)
 	flag.Parse()
 
+	// Bad or missing input is a usage error: report it, point at -h, and
+	// exit 2 (distinct from exit 1, which reports I/O failures on output).
+	if args := flag.Args(); len(args) > 0 {
+		usageFail("unexpected positional arguments %q (all options are flags)", args)
+	}
+	if *n <= 0 {
+		usageFail("-n must be positive, got %d", *n)
+	}
+	if *show < 0 {
+		usageFail("-show must not be negative, got %d", *show)
+	}
+
 	var tr *atcsim.Trace
 	var err error
 	if *load != "" {
 		f, ferr := os.Open(*load)
 		if ferr != nil {
-			fail(ferr)
+			usageFail("cannot open -load file: %v", ferr)
 		}
 		defer f.Close()
-		tr, err = atcsim.LoadTrace(f)
+		if tr, err = atcsim.LoadTrace(f); err != nil {
+			usageFail("-load %s: %v", *load, err)
+		}
 	} else {
-		tr, err = atcsim.NewTrace(*workload, *n, *seed)
-	}
-	if err != nil {
-		fail(err)
+		if tr, err = atcsim.NewTrace(*workload, *n, *seed); err != nil {
+			usageFail("%v (see -h for the benchmark list)", err)
+		}
 	}
 	if *save != "" {
 		f, ferr := os.Create(*save)
@@ -78,6 +91,15 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
 	os.Exit(1)
+}
+
+// usageFail reports a bad-input error with the flag usage text and exits 2
+// (the shell convention for usage errors).
+func usageFail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracedump: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "usage:")
+	flag.Usage()
+	os.Exit(2)
 }
 
 func pct(x, tot int) float64 {

@@ -1,0 +1,80 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"atcsim/internal/metrics"
+)
+
+// The metrics registry sits on runner-rate paths (per completed run, per
+// heartbeat tick), never on the per-access hot path — but its update
+// primitives are still pinned allocation-free so a future caller cannot
+// accidentally make observability expensive.
+
+func buildMetrics(tb testing.TB) (metrics.Counter, metrics.Gauge, *metrics.Histogram) {
+	tb.Helper()
+	reg := metrics.New()
+	c := reg.Counter("bench_events_total", "bench counter", metrics.L("level", "llc"))
+	g := reg.Gauge("bench_depth", "bench gauge")
+	h := reg.NewHistogram("bench_latency", "bench histogram",
+		[]float64{1, 10, 100, 1000})
+	return c, g, h
+}
+
+func TestZeroAllocMetrics(t *testing.T) {
+	skipIfInstrumented(t)
+	c, g, h := buildMetrics(t)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+	}); allocs != 0 {
+		t.Fatalf("counter update allocates %v objects, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		g.Set(42.5)
+		g.SetUint(7)
+	}); allocs != 0 {
+		t.Fatalf("gauge update allocates %v objects, want 0", allocs)
+	}
+	v := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 3.7
+	}); allocs != 0 {
+		t.Fatalf("histogram observe allocates %v objects, want 0", allocs)
+	}
+}
+
+func BenchmarkMetricsCounterAdd(b *testing.B) {
+	c, _, _ := buildMetrics(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkMetricsHistogramObserve(b *testing.B) {
+	_, _, h := buildMetrics(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+// BenchmarkMetricsGather measures the snapshot-time cost (the only place
+// the registry allocates) over a realistically sized series set.
+func BenchmarkMetricsGather(b *testing.B) {
+	reg := metrics.New()
+	for _, lvl := range []string{"l1d", "l2", "llc"} {
+		for _, cls := range []string{"non-replay", "replay", "trans-leaf", "trans-upper"} {
+			reg.Counter("cache_accesses_total", "bench",
+				metrics.L("level", lvl), metrics.L("class", cls)).Inc()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(reg.Gather()) == 0 {
+			b.Fatal("empty gather")
+		}
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"atcsim/internal/experiments/runner"
 	"atcsim/internal/faultinject"
+	"atcsim/internal/metrics"
 	"atcsim/internal/stats"
 	"atcsim/internal/system"
 	"atcsim/internal/telemetry"
@@ -233,6 +235,17 @@ type Options struct {
 	// Health, when non-nil, receives the sweep's retry/failure counters;
 	// when nil the runner allocates its own (see Runner.Health).
 	Health *telemetry.Health
+	// Metrics, when non-nil, is the registry the engine exposes itself on:
+	// health counters, the live per-run-key state table and every
+	// simulation counter family (folded in as runs complete — see
+	// system.MetricsSink). Registration happens eagerly, so a /metrics
+	// scrape shows the full series set before the first run finishes.
+	Metrics *metrics.Registry
+	// Recorder, when non-nil, receives structured flight-recorder events
+	// (run started/retried/done/failed, panics, fault injections,
+	// quarantines) and is dumped to its sink on every permanent run
+	// failure. See metrics.FlightRecorder.
+	Recorder *metrics.FlightRecorder
 }
 
 // Runner schedules and caches the simulations experiments request. Traces
@@ -251,6 +264,9 @@ type Runner struct {
 	retry      runner.RetryPolicy
 	faults     *faultinject.Plan
 	health     *telemetry.Health
+	runsTable  *metrics.RunTable
+	recorder   *metrics.FlightRecorder
+	sink       *system.MetricsSink
 
 	mu       sync.Mutex
 	runs     int
@@ -295,9 +311,28 @@ func NewRunnerWith(sc Scale, opts Options) (*Runner, error) {
 		retry:      opts.Retry,
 		faults:     opts.Faults,
 		health:     opts.Health,
+		runsTable:  metrics.NewRunTable(),
+		recorder:   opts.Recorder,
 	}
 	if r.health == nil {
 		r.health = new(telemetry.Health)
+	}
+	if opts.Metrics != nil {
+		r.health.RegisterMetrics(opts.Metrics)
+		r.runsTable.Register(opts.Metrics)
+		r.sink = system.NewMetricsSink(opts.Metrics)
+		if r.recorder != nil {
+			r.recorder.Register(opts.Metrics)
+		}
+	}
+	if r.recorder != nil {
+		// Fault firings become flight-recorder events: ev.ID is the stable
+		// run/cache identity the plan matched, ev.Hit the per-identity
+		// consultation count, so the recorded set is schedule-independent.
+		rec := r.recorder
+		opts.Faults.SetObserver(func(ev faultinject.Event) {
+			rec.Recordf(metrics.EventFault, ev.ID, ev.Hit, "%s at %s", ev.Kind, ev.Site)
+		})
 	}
 	base := opts.Context
 	if base == nil {
@@ -315,7 +350,12 @@ func NewRunnerWith(sc Scale, opts Options) (*Runner, error) {
 			return nil, err
 		}
 		disk.SetFaults(opts.Faults)
-		disk.OnQuarantine(func(string) { r.health.Quarantined.Add(1) })
+		disk.OnQuarantine(func(path string) {
+			r.health.Quarantined.Add(1)
+			// filepath.Base keeps the event detail free of the (run-specific)
+			// cache directory, preserving dump determinism.
+			r.recorder.Recordf(metrics.EventQuarantine, "", 0, "%s", filepath.Base(path))
+		})
 		r.disk = disk
 	}
 	return r, nil
@@ -329,6 +369,13 @@ func (r *Runner) Jobs() int { return r.pool.Jobs() }
 
 // Health returns the sweep's retry/failure counters (never nil).
 func (r *Runner) Health() *telemetry.Health { return r.health }
+
+// RunsTable returns the live per-run-key state table (never nil) — the
+// backing store of a metrics server's /runs endpoint.
+func (r *Runner) RunsTable() *metrics.RunTable { return r.runsTable }
+
+// Recorder returns the flight recorder passed in Options (possibly nil).
+func (r *Runner) Recorder() *metrics.FlightRecorder { return r.recorder }
 
 // Cancel cancels the sweep: in-flight simulations finish (and their results
 // are cached), every not-yet-started run fails fast with a canceled error,
@@ -464,15 +511,26 @@ func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
 	}
 	id := label + "/" + name
 	res, _, err := r.results.Do(key.Hash(), func() (*system.Result, error) {
+		r.runsTable.Queued(id, key.Hash())
 		fromDisk := new(system.Result)
 		if ok, lerr := r.disk.Load(key, fromDisk); lerr != nil {
 			r.noteCacheErr(lerr) // unreadable/undecodable entry: recompute below
+			r.recorder.Recordf(metrics.EventDiskError, id, 0, "load: %v", lerr)
 		} else if ok {
 			r.noteDiskHit()
+			r.runsTable.Cached(id)
 			return fromDisk, nil
 		}
 		var out *system.Result
+		attempt := 0
 		rr := runner.Execute(r.ctx, r.retry, func(ctx context.Context) error {
+			attempt++
+			r.runsTable.Running(id, attempt)
+			if attempt == 1 {
+				r.recorder.Record(metrics.Event{Kind: metrics.EventRunStarted, Run: id, Attempt: 1})
+			} else {
+				r.recorder.Record(metrics.Event{Kind: metrics.EventRunRetried, Run: id, Attempt: attempt})
+			}
 			if ferr := r.faults.Check(faultinject.SiteRun, id); ferr != nil {
 				return ferr
 			}
@@ -489,12 +547,27 @@ func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
 		})
 		r.noteOutcome(rr)
 		if rr.Err != nil {
+			r.runsTable.Failed(id, rr.Attempts, rr.Err.Error())
+			if rr.Panic != nil {
+				r.recorder.Recordf(metrics.EventPanic, id, rr.Attempts, "%v", rr.Panic)
+			}
+			r.recorder.Recordf(metrics.EventRunFailed, id, rr.Attempts, "%v", rr.Err)
+			// A permanent failure dumps the post-mortem; an unwritable sink
+			// must not turn diagnostics into a second failure.
+			_ = r.recorder.DumpToSink()
 			return nil, &RunError{Label: label, Name: name,
 				Attempts: rr.Attempts, Panic: rr.Panic, Err: rr.Err}
 		}
+		r.runsTable.Done(id, rr.Attempts)
+		if cfg.CheckInvariants {
+			r.recorder.Recordf(metrics.EventAudit, id, rr.Attempts, "ok")
+		}
+		r.recorder.Record(metrics.Event{Kind: metrics.EventRunDone, Run: id, Attempt: rr.Attempts})
 		r.ran(label, name)
+		r.sink.Record(out)
 		if serr := r.disk.Store(key, out); serr != nil {
 			r.noteCacheErr(serr)
+			r.recorder.Recordf(metrics.EventDiskError, id, 0, "store: %v", serr)
 		}
 		return out, nil
 	})

@@ -134,12 +134,13 @@ func (e *Error) Transient() bool {
 // Plan is a live fault plan. All methods are safe for concurrent use and
 // valid on a nil receiver (no faults).
 type Plan struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	rules  []Rule
-	hits   map[string]int // per rule × identity consultation counts
-	fired  []int          // per rule total firings
-	events []Event
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []Rule
+	hits     map[string]int // per rule × identity consultation counts
+	fired    []int          // per rule total firings
+	events   []Event
+	observer func(Event)
 }
 
 // NewPlan builds a plan from rules. seed drives the RNG behind probabilistic
@@ -187,10 +188,29 @@ func (p *Plan) consult(site Site, id string) *firing {
 			continue
 		}
 		p.fired[i]++
-		p.events = append(p.events, Event{Site: site, ID: id, Kind: r.Kind, Hit: hit})
+		ev := Event{Site: site, ID: id, Kind: r.Kind, Hit: hit}
+		p.events = append(p.events, ev)
+		if obs := p.observer; obs != nil {
+			// Deliver outside the lock so observers may consult the plan.
+			p.mu.Unlock()
+			obs(ev)
+			p.mu.Lock()
+		}
 		return &firing{rule: r, hit: hit}
 	}
 	return nil
+}
+
+// SetObserver installs a callback invoked with every fault firing — the
+// flight-recorder hook. The callback runs on the faulting goroutine,
+// outside the plan's lock; it must be safe for concurrent use.
+func (p *Plan) SetObserver(f func(Event)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.observer = f
+	p.mu.Unlock()
 }
 
 // Check consults the plan at a hook site. Depending on the first firing

@@ -6,9 +6,11 @@
 package figurescli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"atcsim/internal/experiments"
+	"atcsim/internal/metrics"
 )
 
 // shutdownGrace bounds how long a sweep may keep draining after the first
@@ -52,6 +55,10 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		cacheDir    = fs.String("cache-dir", "", "persist simulation results here and reuse them on later runs")
 		runTimeout  = fs.Duration("run-timeout", 0, "abandon any single simulation after this long (0 = no limit)")
 		sweepBudget = fs.Duration("sweep-budget", 0, "stop starting new simulations after this long (0 = no limit)")
+		logLevel    = fs.String("log-level", "info", "stderr log verbosity: debug, info, warn or error")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, /runs and /flightrecorder on this host:port (port 0 picks one)")
+		metricsLog  = fs.String("metrics-log", "", "append a JSONL metrics snapshot to this file every second")
+		flightRec   = fs.String("flight-recorder", "", "dump the flight-recorder post-mortem here on permanent run failures (default: <cache-dir>/flight-recorder.jsonl)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage, nil // the flag package already printed the problem
@@ -82,6 +89,12 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		return exitUsage, flagErr
 	}
 
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return exitUsage, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", *logLevel)
+	}
+	log := newLogger(stderr, lvl)
+
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
 		return exitOK, nil
@@ -105,22 +118,75 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
+	// Observability: the registry backs /metrics, JSONL snapshots and the
+	// expvar export; the flight recorder collects structured events and is
+	// dumped on permanent run failures.
+	var reg *metrics.Registry
+	if *metricsAddr != "" || *metricsLog != "" {
+		reg = metrics.New()
+	}
+	recSink := *flightRec
+	if recSink == "" && *cacheDir != "" {
+		recSink = filepath.Join(*cacheDir, "flight-recorder.jsonl")
+	}
+	var rec *metrics.FlightRecorder
+	if recSink != "" || reg != nil {
+		rec = metrics.NewFlightRecorder(0)
+		rec.SetSink(recSink)
+	}
+
 	runner, err := experiments.NewRunnerWith(sc, experiments.Options{
 		Jobs:        *jobs,
 		CacheDir:    *cacheDir,
 		RunTimeout:  *runTimeout,
 		SweepBudget: *sweepBudget,
+		Metrics:     reg,
+		Recorder:    rec,
 	})
 	if err != nil {
 		return exitUsage, fmt.Errorf("cannot open -cache-dir %q: %v", *cacheDir, err)
 	}
 	defer runner.Cancel()
+	// Per-run lines carry run-key-scoped attributes; -progress promotes them
+	// from debug to info. Simulations finish on many goroutines; OnRun calls
+	// are serialized by the runner, so each line prints whole.
+	runLevel := slog.LevelDebug
 	if *progress {
-		// Simulations finish on many goroutines; OnRun calls are serialized
-		// by the runner, so each line prints whole.
-		runner.OnRun = func(key, name string, runs int) {
-			fmt.Fprintf(stderr, "figures: run %4d  %-24s %s\n", runs, key, name)
+		runLevel = slog.LevelInfo
+	}
+	runner.OnRun = func(key, name string, runs int) {
+		log.Log(context.Background(), runLevel, "run complete",
+			"n", runs, "key", key, "workload", name)
+	}
+
+	if reg != nil {
+		metrics.PublishExpvar("atcsim", reg)
+	}
+	if *metricsAddr != "" {
+		srv := &metrics.Server{
+			Registry: reg,
+			Runs:     runner.RunsTable(),
+			Recorder: rec,
+			Healthy:  func() bool { return !runner.Interrupted() },
 		}
+		addr, err := srv.Serve(*metricsAddr)
+		if err != nil {
+			return exitUsage, err
+		}
+		log.Info("metrics endpoint listening", "addr", addr,
+			"endpoints", "/metrics /healthz /runs /flightrecorder")
+	}
+	if *metricsLog != "" {
+		f, err := os.Create(*metricsLog)
+		if err != nil {
+			return exitUsage, fmt.Errorf("cannot create -metrics-log %q: %v", *metricsLog, err)
+		}
+		defer f.Close()
+		stop := make(chan struct{})
+		defer close(stop)
+		go snapshotLoop(reg, f, stop, func(err error) {
+			log.Warn("metrics log write failed", "err", err)
+		})
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep — every
@@ -139,23 +205,27 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		case s := <-sigc:
 			interrupted.Store(true)
 			runner.Cancel()
-			fmt.Fprintf(stderr, "figures: %v — finishing in-flight simulations and flushing completed results\n", s)
+			rec.Recordf(metrics.EventSweepCancel, "", 0, "%v", s)
+			log.Warn("signal received — finishing in-flight simulations and flushing completed results",
+				"signal", s.String())
 			if *cacheDir != "" {
-				fmt.Fprintf(stderr, "figures: re-run with -cache-dir %s to resume from completed results\n", *cacheDir)
+				log.Warn("re-run with the same -cache-dir to resume from completed results",
+					"cache_dir", *cacheDir)
 			} else {
-				fmt.Fprintln(stderr, "figures: (no -cache-dir: completed results will be lost; use -cache-dir to make sweeps resumable)")
+				log.Warn("no -cache-dir: completed results will be lost; use -cache-dir to make sweeps resumable")
 			}
 		case <-done:
 			return
 		}
 		select {
 		case <-sigc:
-			fmt.Fprintln(stderr, "figures: second signal — exiting immediately")
+			log.Error("second signal — exiting immediately")
 		case <-time.After(shutdownGrace):
-			fmt.Fprintf(stderr, "figures: still draining after %v — exiting\n", shutdownGrace)
+			log.Error("still draining past the grace period — exiting", "grace", shutdownGrace.String())
 		case <-done:
 			return
 		}
+		_ = rec.DumpToSink()
 		os.Exit(exitInterrupted)
 	}()
 
@@ -170,12 +240,11 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		reports = experiments.AllWith(runner)
 	}
 	if *progress {
-		fmt.Fprintf(stderr, "figures: %d simulations complete (%d loaded from cache)\n",
-			runner.Runs(), runner.DiskHits())
-		fmt.Fprintf(stderr, "figures: health: %s\n", runner.Health())
+		log.Info("sweep complete", "runs", runner.Runs(), "disk_hits", runner.DiskHits())
+		log.Info("sweep health", healthAttrs(runner)...)
 	}
 	if err := runner.CacheErr(); err != nil {
-		fmt.Fprintf(stderr, "figures: warning: result cache: %v\n", err)
+		log.Warn("result cache degraded", "err", err.Error())
 	}
 
 	failed := 0
@@ -216,13 +285,68 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
+	// Persist the complete event log (atomic rewrite): a post-mortem of the
+	// whole sweep beats one truncated at the last failure.
+	_ = rec.DumpToSink()
+
 	switch {
 	case interrupted.Load():
-		fmt.Fprintf(stderr, "figures: interrupted: %d/%d experiments incomplete\n", failed, len(reports))
+		log.Warn(fmt.Sprintf("interrupted: %d/%d experiments incomplete", failed, len(reports)))
 		return exitInterrupted, nil
 	case failed > 0:
-		fmt.Fprintf(stderr, "figures: %d/%d experiments FAILED\n", failed, len(reports))
+		log.Error(fmt.Sprintf("%d/%d experiments FAILED", failed, len(reports)))
 		return exitFailed, nil
 	}
 	return exitOK, nil
+}
+
+// newLogger builds the CLI's structured stderr logger: slog's text handler
+// with the wall-clock timestamp stripped, so log output is stable enough to
+// assert on in tests and diff between runs.
+func newLogger(w io.Writer, lvl slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: lvl,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
+// healthAttrs renders the sweep health counters as slog attributes.
+func healthAttrs(r *experiments.Runner) []any {
+	h := r.Health()
+	return []any{
+		"runs", h.Runs.Load(), "retries", h.Retries.Load(),
+		"failures", h.Failures.Load(), "panics", h.Panics.Load(),
+		"timeouts", h.Timeouts.Load(), "canceled", h.Canceled.Load(),
+		"disk_hits", h.DiskHits.Load(), "disk_errors", h.DiskErrors.Load(),
+		"quarantined", h.Quarantined.Load(),
+	}
+}
+
+// snapshotLoop appends one JSONL metrics snapshot to w every second until
+// stop closes, then writes a final snapshot so even sub-second sweeps leave
+// a usable log.
+func snapshotLoop(reg *metrics.Registry, w io.Writer, stop <-chan struct{}, onErr func(error)) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	seq := 0
+	for {
+		select {
+		case <-tick.C:
+			if err := reg.WriteJSONLSnapshot(w, seq); err != nil {
+				onErr(err)
+				return
+			}
+			seq++
+		case <-stop:
+			if err := reg.WriteJSONLSnapshot(w, seq); err != nil {
+				onErr(err)
+			}
+			return
+		}
+	}
 }

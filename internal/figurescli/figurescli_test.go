@@ -98,8 +98,31 @@ func TestQuickExperimentSucceeds(t *testing.T) {
 	if !strings.Contains(stdout, "== fig14:") {
 		t.Errorf("stdout missing report:\n%s", stdout)
 	}
-	if !strings.Contains(stderr, "figures: health: runs=") {
+	if !strings.Contains(stderr, `msg="sweep health" runs=`) {
 		t.Errorf("stderr missing health summary:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, `msg="run complete"`) || !strings.Contains(stderr, "key=baseline") {
+		t.Errorf("stderr missing per-run progress attributes:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "time=") {
+		t.Errorf("log lines should not carry timestamps:\n%s", stderr)
+	}
+}
+
+// TestLogLevelGatesProgress checks -log-level: at error verbosity the
+// success path is silent on stderr, and a bad level is a usage error.
+func TestLogLevelGatesProgress(t *testing.T) {
+	code, errMsg, _, stderr := run(t,
+		"-scale", "quick", "-id", "fig14", "-progress", "-log-level", "error")
+	if code != exitOK || errMsg != "" {
+		t.Fatalf("code = %d, err = %q", code, errMsg)
+	}
+	if strings.Contains(stderr, `msg="run complete"`) || strings.Contains(stderr, "sweep health") {
+		t.Errorf("-log-level error should suppress info logs:\n%s", stderr)
+	}
+	if code, errMsg, _, _ := run(t, "-log-level", "loud", "-list"); code != exitUsage ||
+		!strings.Contains(errMsg, "-log-level") {
+		t.Errorf("bad level: code = %d, err = %q", code, errMsg)
 	}
 }
 

@@ -109,6 +109,9 @@ func (w *Walker) SetTracer(t *telemetry.Tracer) { w.tr = t }
 // Stats returns a snapshot of walker counters.
 func (w *Walker) Stats() WalkerStats { return w.st }
 
+// PSCStats returns a snapshot of the paging-structure-cache counters.
+func (w *Walker) PSCStats() tlb.PSCStats { return w.psc.Stats() }
+
 // ResetStats zeroes the counters.
 func (w *Walker) ResetStats() { w.st = WalkerStats{}; w.psc.ResetStats() }
 

@@ -20,6 +20,8 @@ type CoreResult struct {
 	CPU    cpu.Stats
 	MMU    ptw.MMUStats
 	Walker ptw.WalkerStats
+	// PSC counts paging-structure-cache lookups and per-level hits.
+	PSC tlb.PSCStats
 	// ReplayService records which hierarchy level serviced replay loads
 	// (the "R" series of Fig. 3).
 	ReplayService stats.ServiceDist
@@ -93,6 +95,7 @@ func (s *sim) collect() *Result {
 			CPU:           c.core.Stats(),
 			MMU:           c.mmu.Stats(),
 			Walker:        c.mmu.W.Stats(),
+			PSC:           c.mmu.W.PSCStats(),
 			ReplayService: c.replayService,
 			STLB:          c.stlb.Stats(),
 			STLBRecall:    Recall{Hist: c.stlb.RecallHistogram(), Evictions: c.stlb.RecallEvictions()},

@@ -58,6 +58,7 @@ type sim struct {
 	tracer    *telemetry.Tracer
 	hb        *telemetry.Heartbeat
 	hbEvery   uint64
+	onTick    func(telemetry.Snapshot)
 	progress  *telemetry.Progress
 	measuring bool
 	stepped   uint64 // measured instructions stepped (all cores)
@@ -279,6 +280,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 	s.tracer = cfg.Telemetry.TracerOrNil()
 	s.hb = cfg.Telemetry.HeartbeatOrNil()
 	s.hbEvery = uint64(s.hb.Every())
+	s.onTick = cfg.Telemetry.OnTickOrNil()
 	s.progress = cfg.Telemetry.ProgressOrNil()
 	if s.tracer != nil {
 		s.llc.SetTracer(s.tracer)
@@ -466,9 +468,15 @@ func (s *sim) resetStats() {
 }
 
 // heartbeatTick feeds the current cumulative snapshot to the heartbeat
-// engine.
+// engine and, when a Hub.OnTick bridge is installed, to the live metrics
+// gauges. OnTick rides the heartbeat cadence, so live scraping costs
+// nothing between ticks.
 func (s *sim) heartbeatTick() {
-	s.hb.Tick(s.snapshot())
+	sn := s.snapshot()
+	s.hb.Tick(sn)
+	if s.onTick != nil {
+		s.onTick(sn)
+	}
 	s.ticked = s.stepped
 }
 

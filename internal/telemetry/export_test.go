@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/metrics"
+)
+
+// TestHeartbeatJSONLFieldPresence decodes raw JSONL heartbeat lines and
+// asserts every documented field is actually present (a Row-struct decode
+// would silently zero-fill missing keys) and that interval indices increase
+// monotonically from zero.
+func TestHeartbeatJSONLFieldPresence(t *testing.T) {
+	var buf bytes.Buffer
+	hb := NewHeartbeat(&buf, FormatJSONL, 1000)
+	hb.Begin(Snapshot{})
+	for i := 1; i <= 4; i++ {
+		hb.Tick(Snapshot{
+			Cycle:        int64(i) * 2000,
+			Instructions: uint64(i) * 1000,
+			STLBAccesses: uint64(i) * 300,
+			STLBMisses:   uint64(i) * 30,
+			DRAMReads:    uint64(i) * 50,
+			DRAMRowHits:  uint64(i) * 20,
+		})
+	}
+	if err := hb.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"interval", "end_cycle", "cycles", "instructions", "ipc",
+		"l1d_mpki", "l2_mpki", "llc_mpki", "llc_replay_mpki", "llc_leaf_mpki",
+		"stlb_miss_rate", "stlb_mpki", "trans_hit_rate",
+		"stall_translation", "stall_replay", "stall_nonreplay", "stall_other",
+		"dram_row_hit_rate",
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		for _, k := range want {
+			if _, ok := m[k]; !ok {
+				t.Errorf("line %d missing field %q: %s", i, k, ln)
+			}
+		}
+		if idx, ok := m["interval"].(float64); !ok || int(idx) != i {
+			t.Errorf("line %d interval = %v, want %d (monotonic from 0)", i, m["interval"], i)
+		}
+	}
+}
+
+// TestHealthRegisterMetrics checks the registry view reads the same atomics
+// the engine bumps — no second copy, no drift.
+func TestHealthRegisterMetrics(t *testing.T) {
+	h := new(Health)
+	reg := metrics.New()
+	h.RegisterMetrics(reg)
+	h.Runs.Add(7)
+	h.Failures.Add(2)
+	h.Retries.Add(3)
+	h.Quarantined.Add(1)
+
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		got[s.Name] = s.Value
+	}
+	for name, want := range map[string]float64{
+		`runner_runs_total{outcome="ok"}`:     7,
+		`runner_runs_total{outcome="failed"}`: 2,
+		"runner_retries_total":                3,
+		"runner_quarantined_total":            1,
+		"runner_panics_total":                 0,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+	h.Runs.Add(1)
+	for _, s := range reg.Gather() {
+		if s.Name == `runner_runs_total{outcome="ok"}` && s.Value != 8 {
+			t.Errorf("registry did not track live counter: %v", s.Value)
+		}
+	}
+}
+
+// TestSnapshotGauges publishes a cumulative snapshot and reads it back from
+// the registry.
+func TestSnapshotGauges(t *testing.T) {
+	reg := metrics.New()
+	g := NewSnapshotGauges(reg)
+	var sn Snapshot
+	sn.Cycle = 5000
+	sn.Instructions = 12_345
+	sn.L1DMisses[mem.ClassNonReplay] = 40
+	sn.L1DMisses[mem.ClassReplay] = 2
+	sn.L1DMisses[mem.ClassPrefetch] = 99 // not a demand class: excluded
+	sn.STLBMisses = 17
+	sn.Stalls[0] = 100
+	g.Publish(sn)
+
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		got[s.Name] = s.Value
+	}
+	if got["sim_instructions"] != 12_345 {
+		t.Errorf("sim_instructions = %v", got["sim_instructions"])
+	}
+	if got[`sim_cache_demand_misses{level="l1d"}`] != 42 {
+		t.Errorf("l1d demand misses = %v, want 42", got[`sim_cache_demand_misses{level="l1d"}`])
+	}
+	if got["sim_stlb_misses"] != 17 {
+		t.Errorf("sim_stlb_misses = %v", got["sim_stlb_misses"])
+	}
+	if got[`sim_stall_cycles{class="translation"}`] != 100 {
+		t.Errorf("translation stalls = %v", got[`sim_stall_cycles{class="translation"}`])
+	}
+
+	var nilG *SnapshotGauges
+	nilG.Publish(sn) // must not panic
+}
+
+// TestHubOnTick checks the nil-safe accessor and delivery.
+func TestHubOnTick(t *testing.T) {
+	var nilHub *Hub
+	if nilHub.OnTickOrNil() != nil {
+		t.Fatal("nil hub returned a callback")
+	}
+	var seen []uint64
+	hub := &Hub{OnTick: func(sn Snapshot) { seen = append(seen, sn.Instructions) }}
+	for i := 1; i <= 3; i++ {
+		hub.OnTickOrNil()(Snapshot{Instructions: uint64(i)})
+	}
+	if fmt.Sprint(seen) != "[1 2 3]" {
+		t.Fatalf("seen = %v", seen)
+	}
+}

@@ -24,6 +24,19 @@ type Hub struct {
 	// Progress, when non-nil, is updated with coarse instruction counts so
 	// an expvar/pprof endpoint can report liveness from another goroutine.
 	Progress *Progress
+	// OnTick, when non-nil, receives every cumulative heartbeat snapshot on
+	// the simulator goroutine — the bridge that feeds live sim_* gauges and
+	// periodic JSONL metric snapshots at heartbeat cadence instead of on the
+	// per-access hot path.
+	OnTick func(Snapshot)
+}
+
+// OnTickOrNil returns the hub's snapshot callback, tolerating a nil hub.
+func (h *Hub) OnTickOrNil() func(Snapshot) {
+	if h == nil {
+		return nil
+	}
+	return h.OnTick
 }
 
 // TracerOrNil returns the hub's tracer, tolerating a nil hub.

@@ -3,7 +3,12 @@ package atcsim
 import (
 	"bytes"
 	"os/exec"
+	"strings"
 	"testing"
+
+	"atcsim/internal/metrics"
+	"atcsim/internal/system"
+	"atcsim/internal/telemetry"
 )
 
 // TestLint is the repo's style gate: gofmt must be clean and go vet silent
@@ -44,4 +49,29 @@ func TestLint(t *testing.T) {
 			t.Errorf("go vet: %v\n%s", err, buf.Bytes())
 		}
 	})
+}
+
+// TestOpenMetricsExposition is the observability gate: the full production
+// series set — everything the engine registers when a sweep runs with
+// -metrics-addr — must render as lint-clean OpenMetrics text. It builds the
+// same registry surface the experiment runner wires up, without running any
+// simulation.
+func TestOpenMetricsExposition(t *testing.T) {
+	reg := metrics.New()
+	new(telemetry.Health).RegisterMetrics(reg)
+	system.NewMetricsSink(reg)
+	telemetry.NewSnapshotGauges(reg)
+	metrics.NewRunTable().Register(reg)
+	metrics.NewFlightRecorder(0).Register(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if issues := metrics.Lint(buf.Bytes()); len(issues) > 0 {
+		t.Errorf("exposition does not lint clean:\n%s", strings.Join(issues, "\n"))
+	}
+	if n := reg.Len(); n < 25 {
+		t.Errorf("full registry has %d series, want >= 25", n)
+	}
 }
