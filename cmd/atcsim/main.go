@@ -7,12 +7,14 @@
 //	atcsim -workload mcf -enhance tempo -instructions 500000
 //	atcsim -workload cc -llc-policy hawkeye -l2-prefetcher spp
 //	atcsim -workload pr -smt xalancbmk
+//	atcsim -workload pr -mechanism victima               # see docs/TRANSLATION.md
 //
 // Observability:
 //
 //	atcsim -workload pr -trace-out trace.json            # Perfetto trace
 //	atcsim -workload pr -interval-stats hb.csv -interval 10000
-//	atcsim -workload pr -metrics-addr localhost:9090     # live /metrics
+//	atcsim -workload pr -metrics-addr localhost:9797     # live /metrics + /healthz
+//	atcsim -workload pr -metrics-log snap.jsonl          # periodic registry snapshots
 //	atcsim -workload pr -pprof-addr localhost:6060 -cpuprofile cpu.pb.gz
 package main
 
@@ -29,6 +31,7 @@ import (
 	"atcsim"
 	"atcsim/internal/metrics"
 	"atcsim/internal/telemetry"
+	"atcsim/internal/xlat"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func main() {
 		warmup    = flag.Int("warmup", 100_000, "warmup instructions per core")
 		seed      = flag.Int64("seed", 1, "workload synthesis seed")
 		enhance   = flag.String("enhance", "baseline", "enhancement level: baseline, t-drrip, t-ship, atp, tempo")
+		mechanism = flag.String("mechanism", "", "translation mechanism for STLB misses: "+strings.Join(xlat.Names(), ", ")+" (empty = atp)")
 		l2Policy  = flag.String("l2-policy", "", "override L2 replacement policy")
 		llcPolicy = flag.String("llc-policy", "", "override LLC replacement policy")
 		l1dPf     = flag.String("l1d-prefetcher", "none", "L1D prefetcher (none, nextline, ipcp)")
@@ -84,6 +88,10 @@ func main() {
 	cfg.L1DPrefetcher = *l1dPf
 	cfg.L2Prefetcher = *l2Pf
 	cfg.TrackRecall = *recall
+	if !xlat.Registered(*mechanism) {
+		fail("unknown translation mechanism %q (have %s)", *mechanism, strings.Join(xlat.Names(), ", "))
+	}
+	cfg.Mechanism = *mechanism
 
 	levels := map[string]atcsim.Enhancement{
 		"baseline": atcsim.Baseline, "t-drrip": atcsim.TDRRIP,

@@ -12,11 +12,20 @@
 // FAILED(reason) markers), and re-running with the same -cache-dir resumes
 // where the interrupted sweep left off.
 //
+// Long sweeps are observable: -progress (with -log-level
+// debug|info|warn|error) logs each simulation to stderr, -metrics-addr
+// serves live /metrics, /runs and /healthz endpoints, -metrics-log streams
+// JSONL registry snapshots, and -flight-recorder captures a structured
+// post-mortem of permanent failures.
+//
 //	figures -list
+//	figures -list-mechanisms
 //	figures -id fig14
+//	figures -id mechanisms -scale quick
 //	figures -scale quick -jobs 8
 //	figures -cache-dir .figcache -markdown > results.md
 //	figures -cache-dir .figcache -run-timeout 2m -sweep-budget 1h
+//	figures -scale full -jobs 8 -progress -metrics-addr localhost:9797
 package main
 
 import (

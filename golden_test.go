@@ -65,3 +65,49 @@ func TestGoldenReports(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenMechanismReports pins the per-mechanism report sections: the
+// victima and revelator lines in WriteReport are baselined deliberately
+// (there is no external reference for their exact counts), while the default
+// atp mechanism must keep the TestGoldenReports snapshots above untouched.
+// Same -update convention as the figure goldens.
+func TestGoldenMechanismReports(t *testing.T) {
+	for _, mech := range []string{"victima", "revelator"} {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			t.Parallel()
+			tr, err := NewTrace("pr", 25_000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Instructions = 20_000
+			cfg.Warmup = 5_000
+			cfg.Apply(TEMPO)
+			cfg.Mechanism = mech
+			cfg.CheckInvariants = true
+			res, err := Run(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			WriteReport(&buf, res)
+
+			path := filepath.Join("testdata", "golden", "pr-"+mech+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -update` to create snapshots)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s report diverged from %s.\ngot:\n%s\nwant:\n%s\n(rerun with -update if the change is intended)",
+					mech, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

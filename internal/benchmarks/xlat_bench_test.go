@@ -1,0 +1,126 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/dram"
+	"atcsim/internal/mem"
+	"atcsim/internal/ptw"
+	"atcsim/internal/tlb"
+	"atcsim/internal/vm"
+	"atcsim/internal/xlat"
+)
+
+// buildXlatMMU assembles a full translation frontend — TLBs, walker, a
+// two-level cache hierarchy over DRAM — running the named xlat mechanism,
+// and pre-walks npages so steady-state measurement never demand-allocates
+// frames.
+func buildXlatMMU(tb testing.TB, mechName string, npages int) *ptw.MMU {
+	tb.Helper()
+	alloc, err := vm.NewFrameAllocator(33, true)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pt, err := vm.NewPageTable(alloc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	psc := tlb.NewPSC(tlb.DefaultPSCSizes())
+	ch := dram.NewController(dram.DefaultConfig())
+	llc, err := cache.New(cache.Config{
+		Name: "LLC", Level: mem.LvlLLC, SizeBytes: 2 << 20, Ways: 16,
+		Latency: 20, Policy: "ship",
+	}, cache.DRAMAdapter{Read: ch.Read, Write: ch.Write})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Level: mem.LvlL2, SizeBytes: 512 << 10, Ways: 8,
+		Latency: 10, Policy: "drrip",
+	}, llc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := ptw.NewWalker(pt, psc, l2, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dtlb, err := tlb.New(tlb.Config{Name: "DTLB", Entries: 64, Ways: 4, Latency: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	stlb, err := tlb.New(tlb.Config{Name: "STLB", Entries: 2048, Ways: 8, Latency: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mmu, err := ptw.NewMMU(dtlb, nil, stlb, w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mech, err := xlat.New(mechName, xlat.Deps{L2: l2, LLC: llc, STLB: stlb})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mmu.SetMechanism(mech)
+	for i := 0; i < npages; i++ {
+		if _, err := mmu.Translate(mem.Addr(i)*mem.PageSize, 7, int64(i)*100); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return mmu
+}
+
+// xlatBenchPages is sized well past STLB reach (2048 entries) so every
+// measured translation takes the STLB-miss path through the mechanism.
+const xlatBenchPages = 8192
+
+func benchmarkXlatTLBMiss(b *testing.B, mech string) {
+	mmu := buildXlatMMU(b, mech, xlatBenchPages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := mem.Addr(i%xlatBenchPages) * mem.PageSize
+		if _, err := mmu.Translate(va, 7, int64(i)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXlatTLBMissATP measures the default STLB-miss path with the
+// registry indirection in place; the CI gate holds it to 0 allocs/op, so
+// making the mechanism pluggable cannot cost the hot path its
+// allocation-free invariant.
+func BenchmarkXlatTLBMissATP(b *testing.B) { benchmarkXlatTLBMiss(b, "atp") }
+
+// BenchmarkXlatTLBMissVictima measures the cache-as-TLB service path
+// (cache-TLB probe, parked-entry hits, predictor-gated inserts).
+func BenchmarkXlatTLBMissVictima(b *testing.B) { benchmarkXlatTLBMiss(b, "victima") }
+
+// BenchmarkXlatTLBMissRevelator measures the speculate-and-verify path
+// (table probe, speculative prefetch, verification walk, training).
+func BenchmarkXlatTLBMissRevelator(b *testing.B) { benchmarkXlatTLBMiss(b, "revelator") }
+
+// TestZeroAllocMechanismTranslate pins the allocation-free invariant for
+// every registered mechanism's steady-state STLB-miss path: registry
+// indirection, cache-TLB probes and speculation machinery included, a
+// translation must not touch the heap once frames are faulted in.
+func TestZeroAllocMechanismTranslate(t *testing.T) {
+	skipIfInstrumented(t)
+	for _, mech := range xlat.Names() {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			mmu := buildXlatMMU(t, mech, xlatBenchPages)
+			i := 0
+			allocs := testing.AllocsPerRun(2000, func() {
+				va := mem.Addr(i%xlatBenchPages) * mem.PageSize
+				if _, err := mmu.Translate(va, 7, int64(i)*100); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s translate allocates %v objects per call, want 0", mech, allocs)
+			}
+		})
+	}
+}

@@ -101,6 +101,14 @@ type Stats struct {
 	// availability for demand and translation accesses (AvgLatency derives
 	// the mean).
 	LatencySum [mem.NumClasses]uint64
+	// Victima TLB-block activity (zero unless EnableTLBBlocks was called):
+	// entries parked by the STLB eviction hook, cache-as-TLB lookup hits,
+	// and TLB blocks displaced by later fills. TLB blocks are excluded from
+	// the per-class eviction and recall statistics above — those count
+	// memory blocks only.
+	TLBInserts   uint64
+	TLBHits      uint64
+	TLBEvictions uint64
 }
 
 // AvgLatency returns the mean access latency observed for a class.
@@ -118,8 +126,10 @@ type block struct {
 	class    mem.Class // class of the fill that brought the block in
 	reused   bool
 	prefetch bool // filled by a prefetch and not yet demanded
+	tlb      bool // Victima TLB block: payload holds a frame, not data
 	fillAt   int64
 	fillSrc  mem.Level
+	payload  mem.Addr // physical frame base carried by a TLB block
 }
 
 // Cache is one level of the hierarchy. Not safe for concurrent use.
@@ -148,6 +158,12 @@ type Cache struct {
 	evictableFn  func(int) bool // pre-bound chooseWay filter (no per-miss closure)
 	victimBase   int
 	victimIssued int64
+
+	// Victima cache-as-TLB state: setUnder is the per-set 2-bit saturating
+	// underutilization predictor, trained on evictions (dead eviction →
+	// up, reused eviction → down) and consulted before parking a TLB
+	// block. nil until EnableTLBBlocks.
+	setUnder []uint8
 
 	st     Stats
 	recall *recallTracker
@@ -479,6 +495,26 @@ func (c *Cache) chooseWay(set int, a *repl.Access, issued int64) int {
 func (c *Cache) evict(set, way int, cycle int64) {
 	b := &c.blocks[set*c.ways+way]
 	if !b.valid {
+		return
+	}
+	if c.setUnder != nil {
+		// Train the underutilization predictor: sets that keep evicting
+		// never-reused blocks are good Victima real estate.
+		u := &c.setUnder[set]
+		if b.reused {
+			if *u > 0 {
+				*u--
+			}
+		} else if *u < 3 {
+			*u++
+		}
+	}
+	if b.tlb {
+		// TLB blocks are clean metadata: no writeback, and they stay out
+		// of the per-class memory-block eviction statistics.
+		c.st.TLBEvictions++
+		c.policy.Evicted(set, way)
+		b.valid = false
 		return
 	}
 	c.st.Evictions[b.class]++

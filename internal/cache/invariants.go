@@ -46,6 +46,9 @@ func (c *Cache) CheckInvariants() error {
 				return fmt.Errorf("cache %s: block line %#x stored in set %d but maps to set %d",
 					c.cfg.Name, b.line, set, got)
 			}
+			if err := c.checkTLBBlock(b, set, w); err != nil {
+				return err
+			}
 			for w2 := w + 1; w2 < c.ways; w2++ {
 				if b2 := &c.blocks[base+w2]; b2.valid && b2.line == b.line {
 					return fmt.Errorf("cache %s: duplicate tag %#x in set %d (ways %d and %d)",

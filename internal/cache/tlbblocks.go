@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+
+	"atcsim/internal/mem"
+	"atcsim/internal/repl"
+)
+
+// This file implements Victima-style cache-as-TLB support: a cache level
+// can hold TLB blocks — lines whose payload is a virtual-to-physical
+// translation rather than data. TLB blocks live in a synthetic line-address
+// namespace managed by internal/xlat (a tag bit above both physical lines
+// and VPNs), participate in replacement like ordinary blocks under
+// mem.ClassTransLeaf, are never dirty, and are inserted/looked up through
+// the dedicated methods below rather than Access — the request taxonomy
+// checked by checkRequest never sees them.
+
+// EnableTLBBlocks switches on TLB-block storage and allocates the per-set
+// underutilization predictor. Idempotent; called by the victima mechanism
+// at construction. Predictor counters start saturated ("assume
+// underutilized") so Victima is live from the first STLB eviction and gets
+// throttled only where demand reuse pushes back.
+func (c *Cache) EnableTLBBlocks() {
+	if c.setUnder != nil {
+		return
+	}
+	c.setUnder = make([]uint8, c.sets)
+	for i := range c.setUnder {
+		c.setUnder[i] = 3
+	}
+}
+
+// PredictUnderutilized reports whether the set holding line looks like a
+// dead corner of the cache (2-bit counter in the upper half). Always false
+// until EnableTLBBlocks.
+func (c *Cache) PredictUnderutilized(line mem.Addr) bool {
+	if c.setUnder == nil {
+		return false
+	}
+	return c.setUnder[c.setOf(line)] >= 2
+}
+
+// InsertTLBEntry parks the translation (line → frame) as a TLB block,
+// evicting a victim chosen by the replacement policy when the set is full.
+// An existing block for the same line is refreshed in place. It reports
+// whether the entry is resident afterwards; false until EnableTLBBlocks.
+func (c *Cache) InsertTLBEntry(line, frame mem.Addr, cycle int64) bool {
+	if c.setUnder == nil {
+		return false
+	}
+	set := c.setOf(line)
+	if w := c.find(set, line); w >= 0 {
+		c.blocks[set*c.ways+w].payload = frame
+		return true
+	}
+	c.acc = repl.Access{Line: line, Class: mem.ClassTransLeaf, Kind: mem.Translation}
+	way := c.chooseWay(set, &c.acc, cycle)
+	c.evict(set, way, cycle)
+	c.blocks[set*c.ways+way] = block{
+		valid:   true,
+		line:    line,
+		class:   mem.ClassTransLeaf,
+		tlb:     true,
+		payload: frame,
+		fillAt:  cycle,
+		fillSrc: c.cfg.Level,
+	}
+	c.policy.Insert(set, way, &c.acc)
+	c.st.TLBInserts++
+	return true
+}
+
+// LookupTLBEntry probes for a TLB block holding line's translation. On a
+// hit it refreshes replacement state and returns the stored frame and the
+// cycle the translation is available (this level's hit latency, or the
+// block's in-flight fill time if later).
+func (c *Cache) LookupTLBEntry(line mem.Addr, cycle int64) (frame mem.Addr, ready int64, ok bool) {
+	if c.setUnder == nil {
+		return 0, 0, false
+	}
+	set := c.setOf(line)
+	w := c.find(set, line)
+	if w < 0 {
+		return 0, 0, false
+	}
+	b := &c.blocks[set*c.ways+w]
+	if !b.tlb {
+		return 0, 0, false
+	}
+	c.acc = repl.Access{Line: line, Class: mem.ClassTransLeaf, Kind: mem.Translation}
+	c.policy.Hit(set, w, &c.acc)
+	b.reused = true
+	ready = cycle + c.cfg.Latency
+	if b.fillAt > cycle {
+		ready = b.fillAt
+	}
+	c.st.TLBHits++
+	return b.payload, ready, true
+}
+
+// VisitTLBEntries calls fn for every resident TLB block, stopping at the
+// first error. The validate oracle uses this to confirm each cached
+// translation against the radix walk.
+func (c *Cache) VisitTLBEntries(fn func(line, frame mem.Addr) error) error {
+	for i := range c.blocks {
+		if b := &c.blocks[i]; b.valid && b.tlb {
+			if err := fn(b.line, b.payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkTLBBlock validates per-block TLB invariants for CheckInvariants.
+func (c *Cache) checkTLBBlock(b *block, set, way int) error {
+	if !b.tlb {
+		return nil
+	}
+	if c.setUnder == nil {
+		return fmt.Errorf("cache %s: TLB block %#x at set %d way %d without EnableTLBBlocks", c.cfg.Name, b.line, set, way)
+	}
+	if b.dirty {
+		return fmt.Errorf("cache %s: dirty TLB block %#x at set %d way %d", c.cfg.Name, b.line, set, way)
+	}
+	return nil
+}

@@ -680,6 +680,7 @@ var catalog = []catalogEntry{
 	{"ablation-hugepages", AblationHugePages},
 	{"comparison", Comparison},
 	{"robustness", Robustness},
+	{"mechanisms", Mechanisms},
 }
 
 // All returns every experiment report at the given scale, in paper order.

@@ -19,7 +19,7 @@ func testScale() Scale {
 
 func TestIDsCoverEveryExperiment(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 29 {
+	if len(ids) != 30 {
 		t.Fatalf("IDs() = %d entries: %v", len(ids), ids)
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atcsim/internal/stats"
+	"atcsim/internal/system"
+	"atcsim/internal/xlat"
+)
+
+// Mechanisms is the translation-mechanism zoo: every registered mechanism
+// (atp, revelator, victima — see docs/TRANSLATION.md) crossed with the full
+// enhancement ladder on every workload, normalized per benchmark to the
+// plain baseline (atp mechanism, no enhancements). The atp rows reproduce
+// Fig. 14 exactly — the default mechanism *is* the paper machinery — while
+// the victima and revelator rows answer the head-to-head question the
+// ROADMAP poses: do structurally different translation mechanisms compose
+// with, or substitute for, translation-conscious caching?
+//
+// Summary keys: one per mechanism (geomean speedup of the mechanism with
+// the full +TEMPO stack over the plain baseline).
+func Mechanisms(r *Runner) *Report {
+	mechs := xlat.Names()
+	levels := []system.Enhancement{system.Baseline, system.TDRRIP, system.TSHiP, system.ATP, system.TEMPO}
+	header := []string{"benchmark", "mechanism"}
+	for _, e := range levels {
+		header = append(header, e.String())
+	}
+	t := stats.NewTable(header...)
+	agg := map[string][]float64{}
+	for _, w := range r.Scale().workloads() {
+		base := r.Baseline(w)
+		for _, mch := range mechs {
+			mch := mch
+			row := []interface{}{w, mch}
+			for _, e := range levels {
+				e := e
+				res := r.Run(fmt.Sprintf("mech:%s:%s", mch, e), w, func(c *system.Config) {
+					c.Apply(e)
+					if mch != xlat.DefaultName {
+						// The default mechanism keeps Mechanism empty so
+						// these runs share cache entries with the rest of
+						// the suite (empty resolves to atp).
+						c.Mechanism = mch
+					}
+				})
+				sp := res.SpeedupOver(base)
+				row = append(row, sp)
+				if e == system.TEMPO {
+					agg[mch] = append(agg[mch], sp)
+				}
+			}
+			t.AddRowf(row...)
+		}
+	}
+	sum := map[string]float64{}
+	for _, mch := range mechs {
+		g := stats.GeoMean(agg[mch])
+		t.AddRowf("geomean", mch, "", "", "", "", g)
+		sum[mch] = g
+	}
+	return &Report{
+		ID:    "mechanisms",
+		Title: "Translation-mechanism zoo: mechanism × enhancement ladder, speedup over plain baseline",
+		Table: t,
+		Notes: []string{
+			"atp rows = Fig. 14 (the default mechanism is the paper machinery)",
+			"victima parks STLB-evicted entries in underutilized L2C/LLC sets; revelator speculates frames through a partial-tag hash with verification walks",
+			"each cell is speedup over the same per-benchmark baseline (atp mechanism, no enhancements)",
+		},
+		Summary: sum,
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"atcsim/internal/experiments"
 	"atcsim/internal/metrics"
+	"atcsim/internal/xlat"
 )
 
 // shutdownGrace bounds how long a sweep may keep draining after the first
@@ -47,6 +48,7 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 	var (
 		id          = fs.String("id", "", "run a single experiment (see -list)")
 		list        = fs.Bool("list", false, "list experiment identifiers")
+		listMechs   = fs.Bool("list-mechanisms", false, "list translation-mechanism names (the mechanisms experiment's axis)")
 		scale       = fs.String("scale", "full", "experiment scale: full or quick")
 		markdown    = fs.Bool("markdown", false, "emit markdown instead of plain text")
 		csvDir      = fs.String("csv", "", "also write one CSV file per experiment into this directory")
@@ -97,6 +99,10 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return exitOK, nil
+	}
+	if *listMechs {
+		fmt.Fprintln(stdout, strings.Join(xlat.Names(), "\n"))
 		return exitOK, nil
 	}
 

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"atcsim/internal/xlat"
 )
 
 func run(t *testing.T, args ...string) (code int, errMsg, stdout, stderr string) {
@@ -24,6 +26,23 @@ func TestListExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "fig14") || !strings.Contains(stdout, "multicore") {
 		t.Errorf("-list output missing ids:\n%s", stdout)
+	}
+}
+
+func TestListMechanismsExitsZero(t *testing.T) {
+	code, errMsg, stdout, _ := run(t, "-list-mechanisms")
+	if code != exitOK || errMsg != "" {
+		t.Fatalf("code = %d, err = %q", code, errMsg)
+	}
+	lines := strings.Fields(stdout)
+	want := xlat.Names()
+	if len(lines) != len(want) {
+		t.Fatalf("-list-mechanisms printed %v, registry has %v", lines, want)
+	}
+	for i, n := range want {
+		if lines[i] != n {
+			t.Errorf("-list-mechanisms line %d = %q, want %q", i, lines[i], n)
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package ptw
 
-import "fmt"
+import (
+	"fmt"
+
+	"atcsim/internal/xlat"
+)
 
 // CheckInvariants audits the walker: the in-flight walk count must never
 // exceed the configured number of hardware page walkers, and the
@@ -12,7 +16,10 @@ func (w *Walker) CheckInvariants() error {
 	return w.psc.CheckInvariants()
 }
 
-// CheckInvariants audits the MMU's TLBs and walker.
+// CheckInvariants audits the MMU's TLBs, walker and — when the active
+// translation mechanism has checkable state (xlat.Checker) — the mechanism
+// itself, which is how victima's cache-resident TLB blocks and revelator's
+// speculation accounting are verified against the naive-walk oracle.
 func (m *MMU) CheckInvariants() error {
 	if err := m.DTLB.CheckInvariants(); err != nil {
 		return err
@@ -24,6 +31,11 @@ func (m *MMU) CheckInvariants() error {
 	}
 	if err := m.STLB.CheckInvariants(); err != nil {
 		return err
+	}
+	if ch, ok := m.mech.(xlat.Checker); ok {
+		if err := ch.CheckInvariants(); err != nil {
+			return err
+		}
 	}
 	return m.W.CheckInvariants()
 }

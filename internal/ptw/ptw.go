@@ -19,12 +19,13 @@ import (
 	"atcsim/internal/telemetry"
 	"atcsim/internal/tlb"
 	"atcsim/internal/vm"
+	"atcsim/internal/xlat"
 )
 
 // WalkerStats aggregates walker activity.
 type WalkerStats struct {
-	Walks    uint64
-	PTEReads uint64
+	Walks    uint64 // completed page walks
+	PTEReads uint64 // PTE lines read through the cache hierarchy
 	// StepsPerLevel counts PTE reads by level (index 1..5).
 	StepsPerLevel [mem.PTLevels + 1]uint64
 	// LeafService records which hierarchy level serviced leaf PTE reads
@@ -214,26 +215,32 @@ func walkStepName(level int, leaf bool) string {
 
 // MMUStats aggregates per-core translation activity.
 type MMUStats struct {
-	DTLBAccesses uint64
-	DTLBMisses   uint64
-	ITLBAccesses uint64
-	ITLBMisses   uint64
-	STLBAccesses uint64
-	STLBMisses   uint64
+	// DTLBAccesses/DTLBMisses count data-side first-level lookups;
+	// the ITLB pair counts instruction-side lookups.
+	DTLBAccesses, DTLBMisses, ITLBAccesses, ITLBMisses uint64
+	// STLBAccesses/STLBMisses count second-level lookups; an STLB miss is
+	// what hands the translation to the xlat mechanism.
+	STLBAccesses, STLBMisses uint64
 }
 
 // MMU is the translation frontend of one core: first-level TLBs, the
-// unified STLB and the page-table walker.
+// unified STLB and the page-table walker. STLB misses are delegated to a
+// pluggable xlat.Mechanism (the atp passthrough by default), which decides
+// how the miss is serviced — a hardware walk, a cache-resident TLB block,
+// or a speculative fetch racing a verification walk.
 type MMU struct {
-	DTLB *tlb.TLB
-	ITLB *tlb.TLB
-	STLB *tlb.TLB
-	W    *Walker
-	st   MMUStats
-	tr   *telemetry.Tracer
+	// DTLB, ITLB and STLB are the core's TLBs (ITLB aliases DTLB when the
+	// core models a unified first level).
+	DTLB, ITLB, STLB *tlb.TLB
+	// W is the hardware page-table walker.
+	W      *Walker
+	st     MMUStats
+	tr     *telemetry.Tracer
+	mech   xlat.Mechanism
+	walkFn xlat.WalkFn // pre-bound walkOutcome: no per-translate closure
 }
 
-// NewMMU assembles an MMU.
+// NewMMU assembles an MMU with the default (atp) translation mechanism.
 func NewMMU(dtlb, itlb, stlb *tlb.TLB, w *Walker) (*MMU, error) {
 	if dtlb == nil || stlb == nil || w == nil {
 		return nil, fmt.Errorf("ptw: MMU needs dtlb, stlb and walker")
@@ -241,7 +248,33 @@ func NewMMU(dtlb, itlb, stlb *tlb.TLB, w *Walker) (*MMU, error) {
 	if itlb == nil {
 		itlb = dtlb
 	}
-	return &MMU{DTLB: dtlb, ITLB: itlb, STLB: stlb, W: w}, nil
+	m := &MMU{DTLB: dtlb, ITLB: itlb, STLB: stlb, W: w}
+	m.mech = xlat.MustNew(xlat.DefaultName, xlat.Deps{})
+	m.walkFn = m.walkOutcome
+	return m, nil
+}
+
+// SetMechanism replaces the translation mechanism servicing STLB misses.
+// Call before simulation starts: mechanisms carry warm state.
+func (m *MMU) SetMechanism(mech xlat.Mechanism) {
+	if mech != nil {
+		m.mech = mech
+	}
+}
+
+// Mechanism returns the active translation mechanism.
+func (m *MMU) Mechanism() xlat.Mechanism { return m.mech }
+
+// walkOutcome adapts Walker.Walk to the xlat.WalkFn contract.
+func (m *MMU) walkOutcome(va, ip mem.Addr, cycle int64) (xlat.Outcome, error) {
+	res, err := m.W.Walk(va, ip, cycle)
+	if err != nil {
+		return xlat.Outcome{}, err
+	}
+	return xlat.Outcome{
+		PA: res.PA, Ready: res.Ready, LeafSrc: res.LeafSrc,
+		Steps: res.Steps, Huge: res.Huge,
+	}, nil
 }
 
 // SetTracer attaches a request-lifecycle tracer to the MMU and propagates it
@@ -268,6 +301,7 @@ func (m *MMU) ResetStats() {
 	}
 	m.STLB.ResetStats()
 	m.W.ResetStats()
+	m.mech.ResetStats()
 }
 
 // Translation is the outcome of an address translation.
@@ -324,7 +358,7 @@ func (m *MMU) translate(l1 *tlb.TLB, va, ip mem.Addr, cycle int64, acc, miss *ui
 		m.tr.Span("mmu", m.STLB.Name(), telemetry.LaneMMU, stlbStart, cur,
 			telemetry.SArg("result", "miss"))
 	}
-	res, err := m.W.Walk(va, ip, cur)
+	res, err := m.mech.Translate(va, ip, cur, m.walkFn)
 	if err != nil {
 		return Translation{}, err
 	}

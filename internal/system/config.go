@@ -6,6 +6,7 @@ package system
 
 import (
 	"fmt"
+	"strings"
 
 	"atcsim/internal/cache"
 	"atcsim/internal/cpu"
@@ -13,6 +14,7 @@ import (
 	"atcsim/internal/mem"
 	"atcsim/internal/telemetry"
 	"atcsim/internal/tlb"
+	"atcsim/internal/xlat"
 )
 
 // Enhancement selects the paper's cumulative configurations of Fig. 14.
@@ -102,6 +104,13 @@ type Config struct {
 	// PageWalkers is the number of concurrent page-table walks the MMU
 	// sustains (Sunny Cove has two).
 	PageWalkers int
+
+	// Mechanism selects the translation mechanism servicing STLB misses:
+	// "atp" (default, the paper's machinery), "victima" (cache-as-TLB) or
+	// "revelator" (hash-based speculation) — see xlat.Names() and
+	// docs/TRANSLATION.md. Empty resolves to "atp" and is byte-identical
+	// to the pre-registry simulator.
+	Mechanism string
 
 	// NoScatterFrames disables the OS frame-scatter model: data pages get
 	// physically contiguous frames (artificially good DRAM row locality) —
@@ -201,6 +210,10 @@ func (c *Config) Validate() error {
 	}
 	if c.PhysBits < 22 || c.PhysBits > 48 {
 		return fmt.Errorf("system: PhysBits %d out of range", c.PhysBits)
+	}
+	if !xlat.Registered(c.Mechanism) {
+		return fmt.Errorf("system: unknown translation mechanism %q (have %s)",
+			c.Mechanism, strings.Join(xlat.Names(), ", "))
 	}
 	return nil
 }

@@ -54,6 +54,14 @@ type MetricsSink struct {
 	instructions, cycles metrics.Counter
 	stalls               [cpu.NumStallClasses]metrics.Counter
 	branches, mispreds   metrics.Counter
+
+	// Translation mechanisms (internal/xlat).
+	xlatRequests  metrics.Counter
+	xlatWalks     metrics.Counter
+	xlatCacheHits metrics.Counter
+	xlatInserts   metrics.Counter
+	xlatSpecs     metrics.Counter
+	xlatMisspecs  metrics.Counter
 }
 
 // cacheLevelNames label the three cache levels the sink aggregates over
@@ -96,6 +104,18 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 		branches: reg.Counter("cpu_branches_total", "Branches executed."),
 		mispreds: reg.Counter("cpu_mispredicts_total",
 			"Branches mispredicted."),
+		xlatRequests: reg.Counter("xlat_requests_total",
+			"STLB-missing translations handled by the configured mechanism."),
+		xlatWalks: reg.Counter("xlat_walks_total",
+			"Hardware page walks the mechanism issued (fallback or verification)."),
+		xlatCacheHits: reg.Counter("xlat_cache_hits_total",
+			"Translations serviced by cache-resident TLB blocks (victima)."),
+		xlatInserts: reg.Counter("xlat_tlb_block_inserts_total",
+			"STLB-evicted entries parked into L2C/LLC (victima)."),
+		xlatSpecs: reg.Counter("xlat_speculations_total",
+			"Speculative translation fetches issued (revelator)."),
+		xlatMisspecs: reg.Counter("xlat_misspeculations_total",
+			"Speculations squashed by the verification walk (revelator)."),
 	}
 	for li, level := range cacheLevelNames {
 		lv := metrics.L("level", level)
@@ -214,6 +234,12 @@ func (m *MetricsSink) Record(res *Result) {
 		}
 		m.branches.Add(c.CPU.Branches)
 		m.mispreds.Add(c.CPU.Mispredicts)
+		m.xlatRequests.Add(c.Xlat.Requests)
+		m.xlatWalks.Add(c.Xlat.Walks)
+		m.xlatCacheHits.Add(c.Xlat.CacheHitsL2 + c.Xlat.CacheHitsLLC)
+		m.xlatInserts.Add(c.Xlat.TLBBlockInserts)
+		m.xlatSpecs.Add(c.Xlat.Speculations)
+		m.xlatMisspecs.Add(c.Xlat.SpecWrong)
 	}
 
 	d := &res.DRAM

@@ -8,6 +8,7 @@ import (
 	"atcsim/internal/ptw"
 	"atcsim/internal/stats"
 	"atcsim/internal/tlb"
+	"atcsim/internal/xlat"
 )
 
 // CoreResult captures one hardware thread's measured-phase statistics.
@@ -29,6 +30,10 @@ type CoreResult struct {
 	// STLBRecall is the Fig. 18 recall distribution (empty unless
 	// TrackRecall).
 	STLBRecall Recall
+	// Mechanism names the translation mechanism that serviced this core's
+	// STLB misses; Xlat holds its counters (see xlat.Stats).
+	Mechanism string
+	Xlat      xlat.Stats
 }
 
 // Recall pairs a recall-distance histogram with the eviction count that is
@@ -99,6 +104,8 @@ func (s *sim) collect() *Result {
 			ReplayService: c.replayService,
 			STLB:          c.stlb.Stats(),
 			STLBRecall:    Recall{Hist: c.stlb.RecallHistogram(), Evictions: c.stlb.RecallEvictions()},
+			Mechanism:     c.mmu.Mechanism().Name(),
+			Xlat:          c.mmu.Mechanism().Stats(),
 		}
 		r.Cores = append(r.Cores, cr)
 	}

@@ -14,6 +14,7 @@ import (
 	"atcsim/internal/tlb"
 	"atcsim/internal/trace"
 	"atcsim/internal/vm"
+	"atcsim/internal/xlat"
 )
 
 // coreCtx is the per-hardware-thread state of a run.
@@ -234,6 +235,15 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		if err != nil {
 			return nil, err
 		}
+		mech, err := xlat.New(cfg.Mechanism, xlat.Deps{
+			L2: l2, LLC: llc, STLB: stlb,
+			Oracle:            pt.Translate,
+			CheckTranslations: s.checking,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mmu.SetMechanism(mech)
 
 		// The L1D prefetcher (IPCP) needs virtual→physical translation with
 		// TLB-probe semantics for cross-page candidates.

@@ -15,10 +15,10 @@ import (
 
 // Config describes one TLB.
 type Config struct {
-	Name    string
-	Entries int
-	Ways    int
-	Latency int64
+	Name    string // display name used in reports and panics
+	Entries int    // total 4KB-page entries (sets = Entries/Ways)
+	Ways    int    // set associativity
+	Latency int64  // lookup latency in cycles
 	// HugeEntries sizes the fully-associative 2MB-page array (0 disables
 	// it; only used when the workload maps huge pages).
 	HugeEntries int
@@ -28,9 +28,9 @@ type Config struct {
 
 // Stats counts TLB activity.
 type Stats struct {
-	Accesses  uint64
-	Misses    uint64
-	Evictions uint64
+	Accesses  uint64 // lookups, huge and 4KB combined
+	Misses    uint64 // lookups that missed both arrays
+	Evictions uint64 // valid 4KB entries displaced by Insert
 }
 
 type entry struct {
@@ -50,6 +50,12 @@ type TLB struct {
 	clock uint64
 	st    Stats
 	tr    *telemetry.Tracer
+
+	// evictHook, when set, observes every valid 4KB entry displaced by
+	// Insert (Victima re-parks these in the data caches). Huge-page
+	// evictions are not reported: cache-resident TLB blocks hold 4KB
+	// translations only.
+	evictHook func(vpn, frame mem.Addr)
 
 	// 2MB-page entries: fully associative, LRU. A flat array with linear
 	// search — the array holds at most a few dozen entries, and scanning it
@@ -114,6 +120,12 @@ func (t *TLB) Entries() int { return t.cfg.Entries }
 
 // Stats returns a snapshot of the counters.
 func (t *TLB) Stats() Stats { return t.st }
+
+// SetEvictHook registers fn to observe every 4KB-entry eviction (nil
+// disables). The hook fires synchronously inside Insert, after statistics
+// are counted and before the victim is overwritten; it must not re-enter
+// this TLB.
+func (t *TLB) SetEvictHook(fn func(vpn, frame mem.Addr)) { t.evictHook = fn }
 
 // SetTracer attaches a request-lifecycle tracer (nil disables). Evictions
 // that occur inside a sampled request's window are recorded as instant
@@ -197,6 +209,9 @@ func (t *TLB) Insert(va, frame mem.Addr) {
 	if e.valid {
 		t.st.Evictions++
 		t.evictRecall(set, e.vpn)
+		if t.evictHook != nil {
+			t.evictHook(e.vpn, e.frame)
+		}
 		if t.tr.Active() {
 			t.tr.Instant("tlb", t.cfg.Name+" evict", telemetry.LaneMMU,
 				telemetry.IArg("vpn", int64(e.vpn)), telemetry.IArg("set", int64(set)))
@@ -284,7 +299,7 @@ type PSC struct {
 
 // PSCStats counts PSC activity per level.
 type PSCStats struct {
-	Lookups uint64
+	Lookups uint64                   // walker probe sequences (one per walk)
 	Hits    [mem.PTLevels + 1]uint64 // index by level
 }
 
@@ -306,7 +321,7 @@ type pscEntry struct {
 
 // PSCSizes are the Table I capacities: index by level (PSCL2..PSCL5).
 type PSCSizes struct {
-	L2, L3, L4, L5 int
+	L2, L3, L4, L5 int // entries in PSCL2..PSCL5 (0 disables a level)
 }
 
 // DefaultPSCSizes match Table I of the paper.

@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+	"atcsim/internal/ptw"
+	"atcsim/internal/tlb"
+	"atcsim/internal/vm"
+	"atcsim/internal/xlat"
+)
+
+// DiffMechanism replays a seeded translation stream through an MMU running
+// the named xlat mechanism and checks, for every single translation, that
+// the produced physical address equals the naive radix-walk oracle's — the
+// property that makes victima's cached TLB blocks and revelator's
+// speculation safe rather than hopeful. The stream mixes hot pages, a
+// working set beyond STLB reach, and pages from widely-separated VA regions
+// whose low VPN bits collide — exactly the aliasing that forces revelator
+// down its misspeculation/squash path. Structural invariants (including the
+// mechanism's own, via xlat.Checker) are audited at the end.
+func DiffMechanism(name string, n int, seed int64) error {
+	alloc, err := vm.NewFrameAllocator(32, true)
+	if err != nil {
+		return err
+	}
+	pt, err := vm.NewPageTable(alloc)
+	if err != nil {
+		return err
+	}
+	psc := tlb.NewPSC(tlb.DefaultPSCSizes())
+	// A small two-level hierarchy backs both the walker's PTE reads and the
+	// mechanism hooks (victima TLB blocks, revelator speculative fetches).
+	llc, err := cache.New(cache.Config{
+		Name: "LLC", Level: mem.LvlLLC, SizeBytes: 64 << 10, Ways: 16,
+		Latency: 20, MSHRs: 16, Policy: "lru",
+	}, &fixedLower{lat: 40})
+	if err != nil {
+		return err
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2C", Level: mem.LvlL2, SizeBytes: 16 << 10, Ways: 8,
+		Latency: 10, MSHRs: 16, Policy: "lru",
+	}, llc)
+	if err != nil {
+		return err
+	}
+	walker, err := ptw.NewWalker(pt, psc, l2, 0)
+	if err != nil {
+		return err
+	}
+	dtlb, err := tlb.New(tlb.Config{Name: "DTLB", Entries: 64, Ways: 4, Latency: 1})
+	if err != nil {
+		return err
+	}
+	stlb, err := tlb.New(tlb.Config{Name: "STLB", Entries: 256, Ways: 8, Latency: 8})
+	if err != nil {
+		return err
+	}
+	mmu, err := ptw.NewMMU(dtlb, nil, stlb, walker)
+	if err != nil {
+		return err
+	}
+	mech, err := xlat.New(name, xlat.Deps{
+		L2: l2, LLC: llc, STLB: stlb,
+		Oracle:            pt.Translate,
+		CheckTranslations: true, // every outcome re-checked inline
+	})
+	if err != nil {
+		return err
+	}
+	mmu.SetMechanism(mech)
+
+	od := NewOracleTLB(64, 4)
+	os := NewOracleTLB(256, 8)
+
+	// VA regions far apart: their pages share low VPN bits (revelator index
+	// collisions) while translating to unrelated frames.
+	bases := [...]mem.Addr{0, 1 << 30, 1 << 39, 1 << 45}
+
+	r := newRNG(seed)
+	cycle := int64(0)
+	for i := 0; i < n; i++ {
+		var va mem.Addr
+		switch {
+		case r.intn(100) < 45:
+			va = mem.Addr(r.intn(128)) << mem.PageBits // hot pages
+		case r.intn(100) < 70:
+			va = mem.Addr(r.intn(4096)) << mem.PageBits // beyond STLB reach
+		default:
+			// Aliasing pages: same low VPN bits, different region.
+			base := bases[r.intn(len(bases))]
+			va = base | mem.Addr(r.intn(512))<<mem.PageBits
+		}
+		va |= mem.Addr(r.intn(mem.PageSize))
+		cycle += 512
+
+		tr, err := mmu.Translate(va, 0x40_0000, cycle)
+		if err != nil {
+			return fmt.Errorf("mechanism %s: translate %d (va %#x): %w", name, i, va, err)
+		}
+		want, err := pt.Translate(va)
+		if err != nil {
+			return fmt.Errorf("mechanism %s: translate %d (va %#x): oracle: %w", name, i, va, err)
+		}
+		if tr.PA != want {
+			return fmt.Errorf("mechanism %s: translate %d (va %#x): model PA %#x, oracle PA %#x",
+				name, i, va, tr.PA, want)
+		}
+
+		// Mirror the DTLB → STLB ladder with the oracles: mechanisms change
+		// how a miss is serviced, never what counts as a miss.
+		wantMiss := false
+		if f, hit := od.Lookup(va); hit {
+			if got := f | mem.PageOffset(va); got != want {
+				return fmt.Errorf("mechanism %s: translate %d (va %#x): oracle DTLB frame stale: %#x vs %#x",
+					name, i, va, got, want)
+			}
+		} else if f, hit := os.Lookup(va); hit {
+			od.Insert(va, f)
+			if got := f | mem.PageOffset(va); got != want {
+				return fmt.Errorf("mechanism %s: translate %d (va %#x): oracle STLB frame stale: %#x vs %#x",
+					name, i, va, got, want)
+			}
+		} else {
+			wantMiss = true
+			frame := mem.PageBase(want)
+			os.Insert(va, frame)
+			od.Insert(va, frame)
+		}
+		if tr.STLBMiss != wantMiss {
+			return fmt.Errorf("mechanism %s: translate %d (va %#x): model STLBMiss=%v, oracle ladder says %v",
+				name, i, va, tr.STLBMiss, wantMiss)
+		}
+	}
+	if probeStats != nil {
+		probeStats(mech.Stats())
+	}
+	if err := mmu.CheckInvariants(); err != nil {
+		return fmt.Errorf("mechanism %s: %w", name, err)
+	}
+	for _, c := range [...]*cache.Cache{l2, llc} {
+		if err := c.CheckInvariants(); err != nil {
+			return fmt.Errorf("mechanism %s: %w", name, err)
+		}
+	}
+	if err := od.Err(); err != nil {
+		return fmt.Errorf("mechanism %s: %w", name, err)
+	}
+	if err := os.Err(); err != nil {
+		return fmt.Errorf("mechanism %s: %w", name, err)
+	}
+	return nil
+}
+
+// probeStats, when non-nil, receives the mechanism's final stats. Test hook.
+var probeStats func(xlat.Stats)

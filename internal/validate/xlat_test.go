@@ -1,0 +1,73 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"atcsim/internal/xlat"
+)
+
+// TestDiffMechanisms replays the seeded differential stream through every
+// registered translation mechanism. Each run asserts, translation by
+// translation, that the mechanism's PA equals the naive radix-walk oracle's
+// and that TLB miss classification is mechanism-independent — the invariant
+// that makes victima's cached entries and revelator's speculation safe.
+func TestDiffMechanisms(t *testing.T) {
+	for _, name := range xlat.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := DiffMechanism(name, 12_000, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDiffMechanismSeeds varies the stream seed so the aliasing mix (and
+// hence revelator's squash path and victima's eviction pressure) is not an
+// artifact of one lucky sequence.
+func TestDiffMechanismSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for _, seed := range []int64{1, 99, 2026} {
+		for _, name := range xlat.Names() {
+			if err := DiffMechanism(name, 6_000, seed); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestDiffMechanismStreamCoverage asserts the differential stream actually
+// reaches the interesting paths: revelator must both speculate correctly and
+// squash (the aliasing regions exist for exactly this), and victima must
+// service misses from cache-resident TLB blocks at both levels. Without this
+// check a future edit to the stream could pass vacuously.
+func TestDiffMechanismStreamCoverage(t *testing.T) {
+	defer func() { probeStats = nil }()
+	var got xlat.Stats
+	probeStats = func(s xlat.Stats) { got = s }
+
+	if err := DiffMechanism("revelator", 12_000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got.SpecCorrect == 0 || got.SpecWrong == 0 {
+		t.Errorf("revelator stream coverage too thin: %+v", got)
+	}
+
+	if err := DiffMechanism("victima", 12_000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHitsL2 == 0 || got.CacheHitsLLC == 0 || got.TLBBlockInserts == 0 {
+		t.Errorf("victima stream coverage too thin: %+v", got)
+	}
+}
+
+func TestDiffMechanismUnknownName(t *testing.T) {
+	err := DiffMechanism("warpdrive", 10, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown mechanism") {
+		t.Fatalf("err = %v, want unknown-mechanism error", err)
+	}
+}

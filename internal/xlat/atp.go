@@ -1,0 +1,34 @@
+package xlat
+
+import "atcsim/internal/mem"
+
+func init() { Register("atp", newATP) }
+
+// atp is the identity mechanism: every STLB miss goes straight to the
+// hardware walker. The paper's ATP/TEMPO behavior lives in the cache and
+// DRAM hooks the walker's leaf reads trigger, so this mechanism adds no
+// state of its own and keeps the default path byte-identical to the
+// pre-registry simulator.
+type atp struct {
+	d  Deps
+	st Stats
+}
+
+func newATP(d Deps) (Mechanism, error) { return &atp{d: d}, nil }
+
+func (a *atp) Name() string { return "atp" }
+
+func (a *atp) Translate(va, ip mem.Addr, cycle int64, walk WalkFn) (Outcome, error) {
+	a.st.Requests++
+	out, err := walk(va, ip, cycle)
+	if err != nil {
+		return Outcome{}, err
+	}
+	a.st.Walks++
+	a.d.verify("atp", va, out.PA)
+	return out, nil
+}
+
+func (a *atp) Stats() Stats { return a.st }
+
+func (a *atp) ResetStats() { a.st = Stats{} }

@@ -1,0 +1,122 @@
+package xlat
+
+import (
+	"fmt"
+
+	"atcsim/internal/mem"
+)
+
+func init() { Register("revelator", newRevelator) }
+
+const (
+	// revTableBits sizes the direct-mapped prediction table (2^15 = 32768
+	// entries, indexed by the VPN's low bits). Revelator's table is a
+	// system-software-managed hash in memory, so its reach deliberately
+	// exceeds the STLB's — coverage is bounded by aliasing, not capacity.
+	revTableBits = 15
+	// revTagBits is the partial tag width. Partial tags are what make the
+	// mechanism speculative: two VPNs that share an index and a tag alias,
+	// and the stale frame is fetched until the verification walk exposes
+	// the misspeculation.
+	revTagBits = 16
+	// revSquashPenalty is the cycle cost of squashing a misspeculated
+	// fetch and re-steering the pipeline to the verified translation.
+	revSquashPenalty = 8
+)
+
+// revelator implements the Revelator mechanism (PAPERS.md): a direct-mapped,
+// partially-tagged hash table predicts the physical frame of an
+// STLB-missing page, and on a tag match the predicted replay data line is
+// fetched speculatively — in parallel with the verification page walk that
+// every miss still performs. Correct speculation hides the data fetch under
+// the walk; a tag alias fetches the wrong line (cache pollution) and pays a
+// squash penalty on top of the walk. The returned translation always comes
+// from the verification walk, so misspeculation can never corrupt
+// architectural state — the validate oracle checks exactly that.
+type revelator struct {
+	d  Deps
+	st Stats
+	// Direct-mapped table as parallel flat arrays (no maps on the hot
+	// path, mirroring the PSC layout).
+	valid  []bool
+	tags   []uint16
+	frames []mem.Addr
+}
+
+func newRevelator(d Deps) (Mechanism, error) {
+	n := 1 << revTableBits
+	return &revelator{
+		d:      d,
+		valid:  make([]bool, n),
+		tags:   make([]uint16, n),
+		frames: make([]mem.Addr, n),
+	}, nil
+}
+
+func (r *revelator) Name() string { return "revelator" }
+
+func (r *revelator) Translate(va, ip mem.Addr, cycle int64, walk WalkFn) (Outcome, error) {
+	r.st.Requests++
+	vpn := mem.PageNumber(va)
+	idx := int(vpn) & (len(r.valid) - 1)
+	tag := uint16(vpn>>revTableBits) & (1<<revTagBits - 1)
+
+	var predicted mem.Addr
+	speculated := r.valid[idx] && r.tags[idx] == tag
+	if speculated {
+		r.st.Speculations++
+		predicted = r.frames[idx]
+		if r.d.L2 != nil {
+			// Speculative data fetch: start the predicted replay line
+			// toward the L2C while the verification walk runs. On a
+			// misprediction this line is pure pollution.
+			r.d.L2.Prefetch(mem.LineAddr(predicted|mem.PageOffset(va)), cycle, true)
+		}
+	}
+
+	out, err := walk(va, ip, cycle)
+	if err != nil {
+		return Outcome{}, err
+	}
+	r.st.Walks++
+
+	if speculated {
+		if !out.Huge && predicted == mem.PageBase(out.PA) {
+			r.st.SpecCorrect++
+		} else {
+			r.st.SpecWrong++
+			out.Ready += revSquashPenalty
+		}
+	}
+	if !out.Huge {
+		// Train on every verified 4KB walk (software refill in the real
+		// system); huge pages bypass the table.
+		r.st.Trainings++
+		r.valid[idx] = true
+		r.tags[idx] = tag
+		r.frames[idx] = mem.PageBase(out.PA)
+	}
+	r.d.verify("revelator", va, out.PA)
+	return out, nil
+}
+
+func (r *revelator) Stats() Stats { return r.st }
+
+func (r *revelator) ResetStats() { r.st = Stats{} }
+
+// CheckInvariants asserts the counters are internally consistent: every
+// speculation resolved exactly one way, and table trainings never exceed
+// verified walks.
+func (r *revelator) CheckInvariants() error {
+	if r.st.SpecCorrect+r.st.SpecWrong != r.st.Speculations {
+		return fmt.Errorf("revelator: %d speculations but %d correct + %d wrong",
+			r.st.Speculations, r.st.SpecCorrect, r.st.SpecWrong)
+	}
+	if r.st.Trainings > r.st.Walks {
+		return fmt.Errorf("revelator: %d trainings exceed %d walks", r.st.Trainings, r.st.Walks)
+	}
+	if r.st.Walks > r.st.Requests {
+		return fmt.Errorf("revelator: %d walks exceed %d requests", r.st.Walks, r.st.Requests)
+	}
+	return nil
+}

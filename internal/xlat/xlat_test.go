@@ -1,0 +1,252 @@
+package xlat
+
+import (
+	"strings"
+	"testing"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+func TestNamesContainsBuiltins(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"atp", "revelator", "victima"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v, missing builtin %q", names, want)
+		}
+	}
+}
+
+func TestEmptyNameResolvesToDefault(t *testing.T) {
+	m, err := New("", Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != DefaultName {
+		t.Errorf("New(\"\") built %q, want the default %q", m.Name(), DefaultName)
+	}
+	if !Registered("") {
+		t.Error("Registered(\"\") = false, want true (empty means default)")
+	}
+}
+
+func TestUnknownNameErrorListsMechanisms(t *testing.T) {
+	_, err := New("tempo-turbo", Deps{})
+	if err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not list registered mechanism %q", err, n)
+		}
+	}
+	if Registered("tempo-turbo") {
+		t.Error("Registered accepted an unknown name")
+	}
+}
+
+func TestNameIsCaseInsensitive(t *testing.T) {
+	m, err := New("ATP", Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "atp" {
+		t.Errorf("New(\"ATP\").Name() = %q", m.Name())
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("atp", newATP)
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(unknown) did not panic")
+		}
+	}()
+	MustNew("nope", Deps{})
+}
+
+func TestVictimaRequiresCaches(t *testing.T) {
+	if _, err := New("victima", Deps{}); err == nil {
+		t.Error("victima built without caches")
+	}
+}
+
+// walkTo fabricates a WalkFn resolving every VA to the given frame after a
+// fixed walk latency, letting mechanism unit tests drive Translate without a
+// real walker.
+func walkTo(frame mem.Addr, lat int64) WalkFn {
+	return func(va, ip mem.Addr, cycle int64) (Outcome, error) {
+		return Outcome{
+			PA:      frame | mem.PageOffset(va),
+			Ready:   cycle + lat,
+			LeafSrc: mem.LvlDRAM,
+			Steps:   4,
+		}, nil
+	}
+}
+
+func TestATPIsPurePassthrough(t *testing.T) {
+	m := MustNew("atp", Deps{})
+	out, err := m.Translate(0x1234, 0, 100, walkTo(0xabc000, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PA != 0xabc234 || out.Ready != 150 {
+		t.Errorf("atp altered the walk outcome: %+v", out)
+	}
+	st := m.Stats()
+	if st.Requests != 1 || st.Walks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Error("ResetStats left residue")
+	}
+}
+
+// TestRevelatorAliasSquash drives two VPNs that collide in both index and
+// partial tag: after training on the first, the second speculates the wrong
+// frame, pays the squash penalty, and still returns the verified walk's PA.
+func TestRevelatorAliasSquash(t *testing.T) {
+	m := MustNew("revelator", Deps{})
+	aliasStride := mem.Addr(1) << (mem.PageBits + revTableBits + revTagBits)
+	vaA := mem.Addr(0x7) << mem.PageBits
+	vaB := vaA + aliasStride // same index, same partial tag, different VPN
+
+	if _, err := m.Translate(vaA, 0, 0, walkTo(0x111000, 40)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Translate(vaB, 0, 1000, walkTo(0x222000, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Speculations != 1 || st.SpecWrong != 1 || st.SpecCorrect != 0 {
+		t.Fatalf("alias not misspeculated: %+v", st)
+	}
+	if out.PA != 0x222000 {
+		t.Errorf("misspeculation leaked into the returned PA: %#x", out.PA)
+	}
+	if out.Ready != 1000+40+revSquashPenalty {
+		t.Errorf("squash penalty not charged: ready %d", out.Ready)
+	}
+
+	// Re-translating vaB now speculates correctly (table retrained).
+	out, err = m.Translate(vaB, 0, 2000, walkTo(0x222000, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.SpecCorrect != 1 {
+		t.Fatalf("retrained entry did not speculate correctly: %+v", st)
+	}
+	if out.Ready != 2000+40 {
+		t.Errorf("correct speculation charged a penalty: ready %d", out.Ready)
+	}
+	if c, ok := m.(Checker); !ok {
+		t.Fatal("revelator does not implement Checker")
+	} else if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevelatorHugePagesBypassTable(t *testing.T) {
+	m := MustNew("revelator", Deps{})
+	huge := func(va, ip mem.Addr, cycle int64) (Outcome, error) {
+		return Outcome{PA: 0x4000000 | (va & (2<<20 - 1)), Ready: cycle + 30, Huge: true, Steps: 3}, nil
+	}
+	if _, err := m.Translate(0x9000, 0, 0, huge); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Trainings != 0 {
+		t.Errorf("huge-page walk trained the table: %+v", st)
+	}
+}
+
+// TestVerifyPanicsOnOracleMismatch pins the contract that makes speculation
+// checkable: with CheckTranslations set, a mechanism returning a PA that
+// disagrees with the radix-walk oracle must panic, not limp on.
+func TestVerifyPanicsOnOracleMismatch(t *testing.T) {
+	d := Deps{
+		Oracle:            func(va mem.Addr) (mem.Addr, error) { return 0xdead000 | mem.PageOffset(va), nil },
+		CheckTranslations: true,
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oracle mismatch did not panic")
+		}
+	}()
+	d.verify("test", 0x1234, 0xbeef234)
+}
+
+// flatLower terminates a test cache hierarchy with a fixed-latency level.
+type flatLower struct{ lat int64 }
+
+func (f *flatLower) Access(req *mem.Request, cycle int64) cache.Result {
+	return cache.Result{Ready: cycle + f.lat, Src: mem.LvlDRAM}
+}
+
+func testCache(t *testing.T, name string, lvl mem.Level) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		Name: name, Level: lvl, SizeBytes: 16 << 10, Ways: 8,
+		Latency: 10, MSHRs: 16, Policy: "lru",
+	}, &flatLower{lat: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestVictimaCacheTLBRoundTrip exercises the cache-as-TLB path directly:
+// a parked entry is found by Translate without a walk, and the returned PA
+// carries the page offset.
+func TestVictimaCacheTLBRoundTrip(t *testing.T) {
+	l2 := testCache(t, "L2C", mem.LvlL2)
+	llc := testCache(t, "LLC", mem.LvlLLC)
+	m, err := New("victima", Deps{L2: l2, LLC: llc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := mem.Addr(0x42) << mem.PageBits
+	frame := mem.Addr(0x9a000)
+	if !l2.InsertTLBEntry(tlbLine(mem.PageNumber(va)), frame, 0) {
+		t.Fatal("InsertTLBEntry refused")
+	}
+	walked := false
+	out, err := m.Translate(va|0x88, 0, 100, func(_, _ mem.Addr, cycle int64) (Outcome, error) {
+		walked = true
+		return Outcome{PA: frame | 0x88, Ready: cycle + 99}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walked {
+		t.Error("cache-TLB hit still walked")
+	}
+	if out.PA != frame|0x88 || !out.CacheHit || out.LeafSrc != mem.LvlL2 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if st := m.Stats(); st.CacheHitsL2 != 1 || st.Walks != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

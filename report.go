@@ -35,6 +35,17 @@ func WriteReport(w io.Writer, res *Result) {
 				100*rs.Fraction(mem.LvlL1D), 100*rs.Fraction(mem.LvlL2),
 				100*rs.Fraction(mem.LvlLLC), 100*rs.Fraction(mem.LvlDRAM))
 		}
+		// Non-default translation mechanisms get their own stats line; the
+		// default atp path prints nothing here, keeping legacy reports (and
+		// their goldens) byte-identical.
+		switch x := &c.Xlat; c.Mechanism {
+		case "victima":
+			fmt.Fprintf(w, "  victima: cache-TLB hits L2C %d LLC %d of %d STLB misses, blocks parked %d (rejected %d)\n",
+				x.CacheHitsL2, x.CacheHitsLLC, x.Requests, x.TLBBlockInserts, x.TLBBlockRejects)
+		case "revelator":
+			fmt.Fprintf(w, "  revelator: %d speculations of %d STLB misses (%d correct, %d squashed), %d table fills\n",
+				x.Speculations, x.Requests, x.SpecCorrect, x.SpecWrong, x.Trainings)
+		}
 	}
 	fmt.Fprintf(w, "caches (MPKI): L1D %.2f | L2 %.2f | LLC %.2f (replay %.2f, leaf-PTE %.2f)\n",
 		res.L1DMPKI(mem.ClassNonReplay)+res.L1DMPKI(mem.ClassReplay),
