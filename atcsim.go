@@ -59,6 +59,22 @@ const (
 	TEMPO    = system.TEMPO
 )
 
+// Timing model names for Config.Timing: the analytic latency-composition
+// engine (the default) and the queued engine with bounded per-level
+// RQ/WQ/PQ/VAPQ deques, MSHR occupancy limits and backpressure counters.
+const (
+	TimingAnalytic = system.TimingAnalytic
+	TimingQueued   = system.TimingQueued
+)
+
+// TimingModels lists the registered hierarchy timing models usable in
+// Config.Timing.
+func TimingModels() []string { return system.TimingModels() }
+
+// TimingRegistered reports whether name selects a timing model; the empty
+// string resolves to the analytic engine.
+func TimingRegistered(name string) bool { return system.TimingRegistered(name) }
+
 // Trace is a dynamic instruction stream.
 type Trace = trace.Trace
 

@@ -8,6 +8,7 @@
 //	atcsim -workload cc -llc-policy hawkeye -l2-prefetcher spp
 //	atcsim -workload pr -smt xalancbmk
 //	atcsim -workload pr -mechanism victima               # see docs/TRANSLATION.md
+//	atcsim -workload mcf -timing queued                  # bounded-queue timing engine
 //
 // Observability:
 //
@@ -43,6 +44,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload synthesis seed")
 		enhance   = flag.String("enhance", "baseline", "enhancement level: baseline, t-drrip, t-ship, atp, tempo")
 		mechanism = flag.String("mechanism", "", "translation mechanism for STLB misses: "+strings.Join(xlat.Names(), ", ")+" (empty = atp)")
+		timing    = flag.String("timing", "", "hierarchy timing model: "+strings.Join(atcsim.TimingModels(), ", ")+" (empty = analytic)")
 		l2Policy  = flag.String("l2-policy", "", "override L2 replacement policy")
 		llcPolicy = flag.String("llc-policy", "", "override LLC replacement policy")
 		l1dPf     = flag.String("l1d-prefetcher", "none", "L1D prefetcher (none, nextline, ipcp)")
@@ -92,6 +94,14 @@ func main() {
 		fail("unknown translation mechanism %q (have %s)", *mechanism, strings.Join(xlat.Names(), ", "))
 	}
 	cfg.Mechanism = *mechanism
+	if !atcsim.TimingRegistered(*timing) {
+		usageFail("unknown timing model %q (have %s)", *timing, strings.Join(atcsim.TimingModels(), ", "))
+	}
+	if *timing != atcsim.TimingAnalytic {
+		// "analytic" normalizes to "" so the config JSON (and any run keys
+		// derived from it) matches runs that never set the flag.
+		cfg.Timing = *timing
+	}
 
 	levels := map[string]atcsim.Enhancement{
 		"baseline": atcsim.Baseline, "t-drrip": atcsim.TDRRIP,
@@ -316,4 +326,12 @@ func report(res *atcsim.Result) {
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "atcsim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageFail reports a bad-input error and exits 2 (the shell convention for
+// usage errors, distinct from exit 1 runtime failures).
+func usageFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "atcsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "see -h for usage")
+	os.Exit(2)
 }

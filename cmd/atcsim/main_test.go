@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTimingFlagValidation builds the real binary and checks the -timing
+// contract end to end: an unknown timing model is a usage error — exit 2
+// with the registered names listed — while a registered one runs. This is
+// deliberately a process-level test: usageFail calls os.Exit, so the exit
+// code is the behavior under test.
+func TestTimingFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go binary in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "atcsim")
+	if out, err := exec.Command(gobin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-timing", "warp", "-workload", "pr").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("-timing warp: err = %v, want non-zero exit; output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("-timing warp: exit code = %d, want 2 (usage error)", code)
+	}
+	for _, want := range []string{"unknown timing model", "analytic", "queued"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-timing warp: stderr lacks %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command(bin, "-timing", "queued", "-workload", "pr",
+		"-instructions", "2000", "-warmup", "500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-timing queued run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "queues ") {
+		t.Errorf("queued run report has no queues lines:\n%s", out)
+	}
+}

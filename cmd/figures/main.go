@@ -22,6 +22,7 @@
 //	figures -list-mechanisms
 //	figures -id fig14
 //	figures -id mechanisms -scale quick
+//	figures -id fig14 -timing queued -scale quick
 //	figures -scale quick -jobs 8
 //	figures -cache-dir .figcache -markdown > results.md
 //	figures -cache-dir .figcache -run-timeout 2m -sweep-budget 1h

@@ -66,6 +66,50 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestGoldenQueuedReports pins the queued timing engine's report: the same
+// workload as the analytic "pr" golden, run with Config.Timing = "queued",
+// including the per-level queue backpressure lines. This baseline is set
+// deliberately (there is no external reference for queued-mode cycle counts
+// or queue occupancies); re-baselining requires `go test -update` plus a
+// CHANGES.md note, while the analytic goldens above must stay untouched.
+func TestGoldenQueuedReports(t *testing.T) {
+	tr, err := NewTrace("pr", 25_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Warmup = 5_000
+	cfg.Apply(TEMPO)
+	cfg.Timing = TimingQueued
+	cfg.CheckInvariants = true
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queues) == 0 {
+		t.Fatal("queued run collected no queue statistics")
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, res)
+
+	path := filepath.Join("testdata", "golden", "pr-queued.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to create snapshots)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("queued report diverged from %s.\ngot:\n%s\nwant:\n%s\n(rerun with -update if the change is intended)",
+			path, buf.Bytes(), want)
+	}
+}
+
 // TestGoldenMechanismReports pins the per-mechanism report sections: the
 // victima and revelator lines in WriteReport are baselined deliberately
 // (there is no external reference for their exact counts), while the default

@@ -165,6 +165,11 @@ type Cache struct {
 	// block. nil until EnableTLBBlocks.
 	setUnder []uint8
 
+	// pfSink, when set, intercepts Prefetch calls (the queued engine routes
+	// them through its PQ/VAPQ deques instead of issuing synchronously). nil
+	// in the analytic engine, so the default path is unchanged.
+	pfSink func(line mem.Addr, cycle int64, distant bool) int64
+
 	st     Stats
 	recall *recallTracker
 	tr     *telemetry.Tracer
@@ -579,8 +584,18 @@ func (c *Cache) maybeTrain(req *mem.Request, hit bool, cycle int64) {
 // Prefetch brings a physical line into this cache if absent. Distant
 // prefetches (ATP/TEMPO) insert with the highest eviction priority, exactly
 // as the paper specifies. It returns the fill-ready cycle (or the existing
-// block's availability).
+// block's availability). Under the queued engine the call is diverted into
+// the level's prefetch queues instead of issuing immediately.
 func (c *Cache) Prefetch(line mem.Addr, cycle int64, distant bool) int64 {
+	if c.pfSink != nil {
+		return c.pfSink(line, cycle, distant)
+	}
+	return c.prefetchNow(line, cycle, distant)
+}
+
+// prefetchNow performs the prefetch synchronously (the analytic path, and
+// the queued engine's PQ drain).
+func (c *Cache) prefetchNow(line mem.Addr, cycle int64, distant bool) int64 {
 	set := c.setOf(line)
 	if w := c.find(set, line); w >= 0 {
 		b := &c.blocks[set*c.ways+w]

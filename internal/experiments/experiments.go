@@ -60,6 +60,11 @@ type Scale struct {
 	// SeededSpeedups average headline speedups over multiple trace seeds.
 	Seed       int64
 	ExtraSeeds []int64
+	// Timing selects the hierarchy timing engine for every run ("" or
+	// "analytic" = the default analytic model, "queued" = bounded deques;
+	// see system.TimingModels). "analytic" is normalized to "" so those
+	// sweeps share run keys and disk-cache entries with legacy sweeps.
+	Timing string
 }
 
 // Full is the default experiment scale: every benchmark, 300K measured
@@ -582,6 +587,9 @@ func (r *Runner) baseConfig() system.Config {
 	cfg := system.DefaultConfig()
 	cfg.Instructions = r.sc.Instructions
 	cfg.Warmup = r.sc.Warmup
+	if r.sc.Timing != "" && r.sc.Timing != system.TimingAnalytic {
+		cfg.Timing = r.sc.Timing
+	}
 	return cfg
 }
 
@@ -681,6 +689,7 @@ var catalog = []catalogEntry{
 	{"comparison", Comparison},
 	{"robustness", Robustness},
 	{"mechanisms", Mechanisms},
+	{"queues", Queues},
 }
 
 // All returns every experiment report at the given scale, in paper order.

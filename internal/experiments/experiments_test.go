@@ -19,7 +19,7 @@ func testScale() Scale {
 
 func TestIDsCoverEveryExperiment(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 30 {
+	if len(ids) != 31 {
 		t.Fatalf("IDs() = %d entries: %v", len(ids), ids)
 	}
 	seen := map[string]bool{}

@@ -21,6 +21,7 @@ import (
 
 	"atcsim/internal/experiments"
 	"atcsim/internal/metrics"
+	"atcsim/internal/system"
 	"atcsim/internal/xlat"
 )
 
@@ -50,6 +51,7 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 		list        = fs.Bool("list", false, "list experiment identifiers")
 		listMechs   = fs.Bool("list-mechanisms", false, "list translation-mechanism names (the mechanisms experiment's axis)")
 		scale       = fs.String("scale", "full", "experiment scale: full or quick")
+		timing      = fs.String("timing", "", "hierarchy timing model for every run: "+strings.Join(system.TimingModels(), ", ")+" (empty = analytic)")
 		markdown    = fs.Bool("markdown", false, "emit markdown instead of plain text")
 		csvDir      = fs.String("csv", "", "also write one CSV file per experiment into this directory")
 		progress    = fs.Bool("progress", false, "report each simulation run on stderr as the sweep progresses")
@@ -115,6 +117,11 @@ func Main(args []string, stdout, stderr io.Writer) (int, error) {
 	default:
 		return exitUsage, fmt.Errorf("unknown scale %q", *scale)
 	}
+	if !system.TimingRegistered(*timing) {
+		return exitUsage, fmt.Errorf("unknown timing model %q (have %s)",
+			*timing, strings.Join(system.TimingModels(), ", "))
+	}
+	sc.Timing = *timing
 
 	// Validate the CSV target before the sweep: a bad path should fail in
 	// milliseconds, not after minutes of simulation.

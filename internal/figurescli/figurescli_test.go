@@ -68,6 +68,26 @@ func TestBudgetFlagsValidatedUpFront(t *testing.T) {
 	}
 }
 
+// TestTimingFlagValidated pins the -timing contract: an unknown timing
+// model is a usage error (exit 2) listing the registered names, and a
+// registered one reaches the sweep (here killed instantly by an exhausted
+// budget, which is exitFailed — past flag validation).
+func TestTimingFlagValidated(t *testing.T) {
+	code, errMsg, _, _ := run(t, "-timing", "warp", "-id", "fig1", "-scale", "quick")
+	if code != exitUsage {
+		t.Errorf("unknown timing: code = %d, want %d", code, exitUsage)
+	}
+	for _, want := range []string{"unknown timing model", "analytic", "queued"} {
+		if !strings.Contains(errMsg, want) {
+			t.Errorf("unknown timing: err %q lacks %q", errMsg, want)
+		}
+	}
+	code, errMsg, _, _ = run(t, "-timing", "queued", "-id", "fig1", "-scale", "quick", "-sweep-budget", "1ns")
+	if code != exitFailed || errMsg != "" {
+		t.Errorf("valid timing rejected: code = %d, err = %q", code, errMsg)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	if code, _, _, _ := run(t, "-scale", "galactic", "-id", "fig1"); code != exitUsage {
 		t.Errorf("unknown scale: code = %d", code)

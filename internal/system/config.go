@@ -86,6 +86,12 @@ type Config struct {
 	L1DPrefetcher string
 	L2Prefetcher  string
 
+	// PrefetchDegree, when positive, overrides the data prefetchers' default
+	// degree (candidate lines emitted per training event) for prefetchers
+	// that honor one, e.g. "nextline". Zero keeps each prefetcher's default
+	// and is omitted from JSON, so existing run keys are unchanged.
+	PrefetchDegree int `json:",omitempty"`
+
 	// TEMPO enables the DRAM-controller replay prefetch (LLC translation
 	// misses).
 	TEMPO bool
@@ -111,6 +117,21 @@ type Config struct {
 	// docs/TRANSLATION.md. Empty resolves to "atp" and is byte-identical
 	// to the pre-registry simulator.
 	Mechanism string
+
+	// Timing selects the hierarchy timing engine: "analytic" (default, the
+	// latency-composition model) or "queued" (bounded per-level RQ/WQ/PQ/VAPQ
+	// deques with per-cycle stepping and backpressure) — see TimingModels()
+	// and the DESIGN.md "Queued timing" section. Empty resolves to "analytic"
+	// and is byte-identical to the pre-switch simulator; omitempty keeps the
+	// canonical config JSON — and therefore experiment run keys and cached
+	// results — unchanged for analytic runs.
+	Timing string `json:",omitempty"`
+
+	// Queues, when non-nil, overrides the queued engine's deque geometry at
+	// every cache level (unset fields take package defaults); nil selects
+	// cache.DefaultQueueConfig per level. Ignored under analytic timing and
+	// omitted from JSON when nil, so analytic run keys are unchanged.
+	Queues *cache.QueueConfig `json:",omitempty"`
 
 	// NoScatterFrames disables the OS frame-scatter model: data pages get
 	// physically contiguous frames (artificially good DRAM row locality) —
@@ -214,6 +235,10 @@ func (c *Config) Validate() error {
 	if !xlat.Registered(c.Mechanism) {
 		return fmt.Errorf("system: unknown translation mechanism %q (have %s)",
 			c.Mechanism, strings.Join(xlat.Names(), ", "))
+	}
+	if !TimingRegistered(c.Timing) {
+		return fmt.Errorf("system: unknown timing model %q (have %s)",
+			c.Timing, strings.Join(TimingModels(), ", "))
 	}
 	return nil
 }

@@ -33,4 +33,7 @@ func (s *sim) auditInvariants() {
 	}
 	fail(s.llc.CheckInvariants())
 	fail(s.channel.CheckInvariants())
+	for _, q := range s.queued {
+		fail(q.CheckInvariants())
+	}
 }

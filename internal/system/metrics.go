@@ -33,6 +33,16 @@ type MetricsSink struct {
 	prefLate       [3]metrics.Counter
 	prefDropped    [3]metrics.Counter
 
+	// Queued-timing deque backpressure (zero under analytic timing).
+	qRQFull    [3]metrics.Counter
+	qRQMerged  [3]metrics.Counter
+	qWQFull    [3]metrics.Counter
+	qWQForward [3]metrics.Counter
+	qPQFull    [3]metrics.Counter
+	qPQMerged  [3]metrics.Counter
+	qVAPQFull  [3]metrics.Counter
+	qMSHRFull  [3]metrics.Counter
+
 	// Translation: first-level TLBs + STLB, paging-structure caches, walker.
 	tlbAccess   [3]metrics.Counter // dtlb, itlb, stlb
 	tlbMiss     [3]metrics.Counter
@@ -144,6 +154,22 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 			"Demand accesses merged with an in-flight prefetch.", lv)
 		m.prefDropped[li] = reg.Counter("prefetch_dropped_total",
 			"Prefetches dropped on saturated MSHRs.", lv)
+		m.qRQFull[li] = reg.Counter("cache_queue_rq_full_total",
+			"Cycles a demand read stalled on a full read queue (queued timing).", lv)
+		m.qRQMerged[li] = reg.Counter("cache_queue_rq_merged_total",
+			"Demand reads that matched an in-flight read-queue entry (queued timing).", lv)
+		m.qWQFull[li] = reg.Counter("cache_queue_wq_full_total",
+			"Cycles a writeback stalled on a full write queue (queued timing).", lv)
+		m.qWQForward[li] = reg.Counter("cache_queue_wq_forward_total",
+			"Demand reads serviced by forwarding from a queued writeback (queued timing).", lv)
+		m.qPQFull[li] = reg.Counter("cache_queue_pq_full_total",
+			"Prefetches dropped on a full prefetch queue (queued timing).", lv)
+		m.qPQMerged[li] = reg.Counter("cache_queue_pq_merged_total",
+			"Prefetches merged with an already-queued prefetch (queued timing).", lv)
+		m.qVAPQFull[li] = reg.Counter("cache_queue_vapq_full_total",
+			"Distant prefetches dropped on a full virtual-address prefetch queue (queued timing).", lv)
+		m.qMSHRFull[li] = reg.Counter("cache_queue_mshr_full_total",
+			"Cycles the read-queue head stalled on saturated MSHRs (queued timing).", lv)
 	}
 	for ki, kind := range tlbKindNames {
 		kv := metrics.L("kind", kind)
@@ -204,6 +230,9 @@ func (m *MetricsSink) Record(res *Result) {
 		m.foldCache(1, st)
 	}
 	m.foldCache(2, res.LLC)
+	for _, ql := range res.Queues {
+		m.foldQueue(ql)
+	}
 
 	for i := range res.Cores {
 		c := &res.Cores[i]
@@ -267,4 +296,28 @@ func (m *MetricsSink) foldCache(li int, st cache.Stats) {
 	m.prefUseful[li].Add(st.PrefUseful)
 	m.prefLate[li].Add(st.PrefLate)
 	m.prefDropped[li].Add(st.PrefDropped)
+}
+
+// foldQueue adds one queued-timing level's deque counters. The L1I wrapper
+// shares mem.LvlL1D and so folds into the l1d series alongside the L1D one.
+func (m *MetricsSink) foldQueue(ql QueueLevel) {
+	var li int
+	switch ql.Level {
+	case mem.LvlL1D:
+		li = 0
+	case mem.LvlL2:
+		li = 1
+	case mem.LvlLLC:
+		li = 2
+	default:
+		return
+	}
+	m.qRQFull[li].Add(ql.Q.RQFull)
+	m.qRQMerged[li].Add(ql.Q.RQMerged)
+	m.qWQFull[li].Add(ql.Q.WQFull)
+	m.qWQForward[li].Add(ql.Q.WQForward)
+	m.qPQFull[li].Add(ql.Q.PQFull)
+	m.qPQMerged[li].Add(ql.Q.PQMerged)
+	m.qVAPQFull[li].Add(ql.Q.VAPQFull)
+	m.qMSHRFull[li].Add(ql.Q.MSHRFull)
 }

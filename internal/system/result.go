@@ -1,6 +1,8 @@
 package system
 
 import (
+	"sort"
+
 	"atcsim/internal/cache"
 	"atcsim/internal/cpu"
 	"atcsim/internal/dram"
@@ -76,12 +78,40 @@ type Result struct {
 
 	DRAM dram.Stats
 
+	// Queues holds per-level deque statistics from the queued timing engine,
+	// aggregated over cache instances with the same name and ordered by
+	// level then name. Empty (and omitted from JSON, keeping analytic
+	// results byte-identical) under analytic timing.
+	Queues []QueueLevel `json:",omitempty"`
+
 	// Recall-distance distributions (empty unless TrackRecall). L2 data
 	// comes from the first L2 instance.
 	L2RecallTrans   Recall
 	L2RecallReplay  Recall
 	LLCRecallTrans  Recall
 	LLCRecallReplay Recall
+}
+
+// QueueLevel aggregates one cache level's queued-engine deque statistics
+// (per-core instances with the same name — e.g. private L2Cs — are summed).
+type QueueLevel struct {
+	Name  string
+	Level mem.Level
+	Q     cache.QueueStats
+}
+
+// addQueueStats folds one wrapper's counters into an aggregate row.
+func addQueueStats(dst *cache.QueueStats, st cache.QueueStats) {
+	dst.RQFull += st.RQFull
+	dst.RQMerged += st.RQMerged
+	dst.WQFull += st.WQFull
+	dst.WQForward += st.WQForward
+	dst.PQFull += st.PQFull
+	dst.PQMerged += st.PQMerged
+	dst.VAPQFull += st.VAPQFull
+	dst.MSHRFull += st.MSHRFull
+	dst.Enqueued += st.Enqueued
+	dst.Drained += st.Drained
 }
 
 // collect snapshots all component statistics into a Result.
@@ -122,6 +152,23 @@ func (s *sim) collect() *Result {
 	}
 	r.LLCRecallTrans = Recall{Hist: s.llc.RecallHistogram(mem.ClassTransLeaf), Evictions: s.llc.RecallEvictions(mem.ClassTransLeaf)}
 	r.LLCRecallReplay = Recall{Hist: s.llc.RecallHistogram(mem.ClassReplay), Evictions: s.llc.RecallEvictions(mem.ClassReplay)}
+	if len(s.queued) > 0 {
+		idx := map[string]int{}
+		for _, q := range s.queued {
+			if i, ok := idx[q.Name()]; ok {
+				addQueueStats(&r.Queues[i].Q, q.Stats())
+			} else {
+				idx[q.Name()] = len(r.Queues)
+				r.Queues = append(r.Queues, QueueLevel{Name: q.Name(), Level: q.Level(), Q: q.Stats()})
+			}
+		}
+		sort.Slice(r.Queues, func(i, j int) bool {
+			if r.Queues[i].Level != r.Queues[j].Level {
+				return r.Queues[i].Level < r.Queues[j].Level
+			}
+			return r.Queues[i].Name < r.Queues[j].Name
+		})
+	}
 	return r
 }
 

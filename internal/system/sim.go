@@ -31,6 +31,12 @@ type coreCtx struct {
 	stlb   *tlb.TLB
 	lastIL mem.Addr
 
+	// l1iPath and l1dPath are where the core issues fetches and data
+	// accesses: the caches themselves under analytic timing, their queued
+	// wrappers under queued timing.
+	l1iPath cache.Lower
+	l1dPath cache.Lower
+
 	// req is the per-core scratch request reused across steps. Each cache
 	// level keeps its own scratch for writebacks/prefetches, and the request
 	// is fully consumed before step returns, so one per core suffices.
@@ -53,6 +59,12 @@ type sim struct {
 	l2s     []*cache.Cache
 	llc     *cache.Cache
 	channel *dram.Controller
+
+	// queued holds the per-level deque wrappers in creation order (LLC
+	// first, then each core group's L2/L1D/L1I); draining walks the slice
+	// in reverse so upper levels flush into lower queues before those
+	// drain. Empty under analytic timing.
+	queued []*cache.Queued
 
 	// Observability (all nil/false when telemetry is disabled; the phase
 	// loop then pays one predictable branch per instruction).
@@ -154,51 +166,89 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 	s := &sim{cfg: cfg, llc: llc, channel: channel}
 	s.checking = cfg.CheckInvariants || invariantsDefault
 
-	var sharedL1I, sharedL1D *cache.Cache
-	var sharedL2 *cache.Cache
-	newCoreCaches := func() (*cache.Cache, *cache.Cache, *cache.Cache, error) {
+	// Under queued timing every level sits behind a cache.Queued wrapper;
+	// lower-pointer chaining goes through the wrappers so evict writebacks
+	// land in the next level's write queue.
+	queued := cfg.queuedTiming()
+	qconf := func(level mem.Level) cache.QueueConfig {
+		if cfg.Queues != nil {
+			return *cfg.Queues
+		}
+		return cache.DefaultQueueConfig(level)
+	}
+	llcPath := cache.Lower(llc)
+	if queued {
+		q := cache.NewQueued(llc, qconf(mem.LvlLLC))
+		s.queued = append(s.queued, q)
+		llcPath = q
+	}
+
+	// coreCaches bundles one core group's caches with the access paths the
+	// core (and walker) issue into.
+	type coreCaches struct {
+		l1i, l1d, l2     *cache.Cache
+		l1iPath, l1dPath cache.Lower
+	}
+	var shared *coreCaches
+	newCoreCaches := func() (coreCaches, error) {
+		var cc coreCaches
 		l2Cfg := cfg.L2
 		l2Cfg.TrackRecall = cfg.TrackRecall
-		l2, err := cache.New(l2Cfg, llc)
+		l2, err := cache.New(l2Cfg, llcPath)
 		if err != nil {
-			return nil, nil, nil, err
+			return cc, err
 		}
-		if pf, err := prefetch.New(cfg.L2Prefetcher, prefetch.Options{}); err != nil {
-			return nil, nil, nil, err
+		if pf, err := prefetch.New(cfg.L2Prefetcher, prefetch.Options{Degree: cfg.PrefetchDegree}); err != nil {
+			return cc, err
 		} else if pf != nil {
 			l2.AttachPrefetcher(pf)
 		}
-		l1d, err := cache.New(cfg.L1D, l2)
-		if err != nil {
-			return nil, nil, nil, err
+		l2Path := cache.Lower(l2)
+		if queued {
+			q := cache.NewQueued(l2, qconf(mem.LvlL2))
+			s.queued = append(s.queued, q)
+			l2Path = q
 		}
-		l1i, err := cache.New(cfg.L1I, l2)
+		l1d, err := cache.New(cfg.L1D, l2Path)
 		if err != nil {
-			return nil, nil, nil, err
+			return cc, err
 		}
-		return l1i, l1d, l2, nil
+		l1i, err := cache.New(cfg.L1I, l2Path)
+		if err != nil {
+			return cc, err
+		}
+		cc = coreCaches{l1i: l1i, l1d: l1d, l2: l2, l1iPath: l1i, l1dPath: l1d}
+		if queued {
+			qd := cache.NewQueued(l1d, qconf(mem.LvlL1D))
+			qi := cache.NewQueued(l1i, qconf(mem.LvlL1D))
+			s.queued = append(s.queued, qd, qi)
+			cc.l1dPath, cc.l1iPath = qd, qi
+		}
+		return cc, nil
 	}
 
 	for i, tr := range traces {
-		var l1i, l1d, l2 *cache.Cache
+		var cc coreCaches
 		if shareCoreCaches {
-			if sharedL2 == nil {
-				sharedL1I, sharedL1D, sharedL2, err = newCoreCaches()
+			if shared == nil {
+				cc, err = newCoreCaches()
 				if err != nil {
 					return nil, err
 				}
-				s.l1ds = append(s.l1ds, sharedL1D)
-				s.l2s = append(s.l2s, sharedL2)
+				shared = &cc
+				s.l1ds = append(s.l1ds, cc.l1d)
+				s.l2s = append(s.l2s, cc.l2)
 			}
-			l1i, l1d, l2 = sharedL1I, sharedL1D, sharedL2
+			cc = *shared
 		} else {
-			l1i, l1d, l2, err = newCoreCaches()
+			cc, err = newCoreCaches()
 			if err != nil {
 				return nil, err
 			}
-			s.l1ds = append(s.l1ds, l1d)
-			s.l2s = append(s.l2s, l2)
+			s.l1ds = append(s.l1ds, cc.l1d)
+			s.l2s = append(s.l2s, cc.l2)
 		}
+		l1i, l1d, l2 := cc.l1i, cc.l1d, cc.l2
 
 		pt, err := vm.NewPageTable(alloc)
 		if err != nil {
@@ -210,7 +260,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 			}
 		}
 		psc := tlb.NewPSC(cfg.PSC)
-		walker, err := ptw.NewWalker(pt, psc, l1d, i)
+		walker, err := ptw.NewWalker(pt, psc, cc.l1dPath, i)
 		if err != nil {
 			return nil, err
 		}
@@ -258,7 +308,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 				}
 				return pa, false
 			}
-			pf, err := prefetch.New(cfg.L1DPrefetcher, prefetch.Options{Translate: translate})
+			pf, err := prefetch.New(cfg.L1DPrefetcher, prefetch.Options{Translate: translate, Degree: cfg.PrefetchDegree})
 			if err != nil {
 				return nil, err
 			}
@@ -272,16 +322,18 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 			return nil, err
 		}
 		s.cores = append(s.cores, &coreCtx{
-			id:     i,
-			tr:     tr,
-			core:   core,
-			bp:     cpu.NewPerceptron(),
-			mmu:    mmu,
-			l1i:    l1i,
-			l1d:    l1d,
-			l2:     l2,
-			stlb:   stlb,
-			lastIL: ^mem.Addr(0),
+			id:      i,
+			tr:      tr,
+			core:    core,
+			bp:      cpu.NewPerceptron(),
+			mmu:     mmu,
+			l1i:     l1i,
+			l1d:     l1d,
+			l2:      l2,
+			stlb:    stlb,
+			lastIL:  ^mem.Addr(0),
+			l1iPath: cc.l1iPath,
+			l1dPath: cc.l1dPath,
 		})
 	}
 
@@ -323,7 +375,7 @@ func (s *sim) step(c *coreCtx) {
 		tr, err := c.mmu.TranslateInstr(in.IP, in.IP, d)
 		if err == nil {
 			c.req = mem.Request{Addr: tr.PA, VAddr: in.IP, IP: in.IP, Kind: mem.IFetch, Core: c.id}
-			res := c.l1i.Access(&c.req, tr.Ready)
+			res := c.l1iPath.Access(&c.req, tr.Ready)
 			if eff := res.Ready - s.cfg.L1I.Latency; eff > d {
 				c.core.FrontendStall(eff)
 				d = c.core.NextDispatch()
@@ -369,7 +421,7 @@ func (s *sim) step(c *coreCtx) {
 				s.tracer.Span("request", "replay-issue", telemetry.LaneRequest, tr.Ready, issue)
 			}
 		}
-		res := c.l1d.Access(&c.req, issue)
+		res := c.l1dPath.Access(&c.req, issue)
 		if tr.STLBMiss {
 			c.replayService.Record(res.Src)
 		}
@@ -394,7 +446,7 @@ func (s *sim) step(c *coreCtx) {
 			Addr: tr.PA, VAddr: in.Addr, IP: in.IP,
 			Kind: mem.Store, IsReplay: tr.STLBMiss, Core: c.id,
 		}
-		c.l1d.Access(&c.req, tr.Ready)
+		c.l1dPath.Access(&c.req, tr.Ready)
 		// Stores retire once translated (store-buffer commit); the write
 		// drains in the background.
 		complete := d + exec
@@ -450,7 +502,19 @@ func (s *sim) phase(target int) {
 	}
 }
 
+// drainQueued flushes every queued wrapper, upper levels first so their
+// retiring entries (and evict writebacks) land in the lower queues before
+// those drain. A no-op under analytic timing.
+func (s *sim) drainQueued() {
+	for i := len(s.queued) - 1; i >= 0; i-- {
+		s.queued[i].Drain()
+	}
+}
+
 func (s *sim) resetStats() {
+	// In-flight queue entries carry pre-reset work; finish them so the
+	// measured phase starts from empty deques.
+	s.drainQueued()
 	// The hierarchy has at most 3 distinct core caches per core; a small
 	// slice beats a map allocation here (SMT cores share cache instances,
 	// so dedup is still required).
@@ -475,6 +539,9 @@ func (s *sim) resetStats() {
 	}
 	s.llc.ResetStats()
 	s.channel.ResetStats()
+	for _, q := range s.queued {
+		q.ResetStats()
+	}
 }
 
 // heartbeatTick feeds the current cumulative snapshot to the heartbeat
@@ -562,6 +629,9 @@ func (s *sim) run() *Result {
 	if s.progress != nil {
 		s.progress.Set(s.stepped)
 	}
+	// Flush in-flight queue entries so collected stats (fills, writebacks,
+	// backpressure counters) cover every measured request.
+	s.drainQueued()
 	if s.checking {
 		s.auditInvariants()
 	}

@@ -3,6 +3,7 @@ package validate
 import (
 	"testing"
 
+	"atcsim/internal/cache"
 	"atcsim/internal/mem"
 	"atcsim/internal/repl"
 )
@@ -55,6 +56,43 @@ func FuzzCacheDifferential(f *testing.F) {
 		}
 		if err := DiffCache(ops, 1, 8); err != nil {
 			t.Fatalf("fully-assoc 1x8: %v", err)
+		}
+	})
+}
+
+// FuzzQueuedHierarchy feeds byte-derived op streams through the queued
+// timing engine two ways: the lockstep differential against the analytic
+// engine with default-size deques (state must match exactly), and a
+// tiny-deque two-level hierarchy replayed back-to-back so full-queue,
+// forward, merge and MSHR-blocking paths fire constantly under the
+// invariant checkers. Seed corpus under testdata/fuzz covers the
+// full-queue-burst and duplicate-address-merge edge cases.
+func FuzzQueuedHierarchy(f *testing.F) {
+	// Burst of distinct loads: overlapping misses fill the read queue.
+	burst := make([]byte, 0, 64)
+	for id := byte(0); id < 32; id++ {
+		burst = append(burst, 0, id)
+	}
+	f.Add(burst)
+	// Duplicate leaf translations with the same replay target: ATP fires
+	// repeatedly for one line, exercising VAPQ staging and PQ merging.
+	f.Add([]byte{6, 9, 6, 9, 6, 9, 0, 9, 6, 9, 6, 9})
+	// Store, then load of the same line, then writebacks: the dirty-evict →
+	// lower-WQ → forward path.
+	f.Add([]byte{4, 5, 0, 5, 5, 5, 4, 13, 0, 13, 5, 5, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeOps(data)
+		if len(ops) == 0 {
+			return
+		}
+		for _, tc := range TimingConfigs() {
+			if err := DiffTiming(ops, tc); err != nil {
+				t.Fatalf("lockstep %s: %v", tc.Name, err)
+			}
+		}
+		tiny := cache.QueueConfig{RQ: 2, WQ: 1, PQ: 1, VAPQ: 1, MaxRead: 1, MaxWrite: 1}
+		if err := StressQueued(ops, 2, tiny); err != nil {
+			t.Fatalf("stress: %v", err)
 		}
 	})
 }

@@ -1,0 +1,321 @@
+package validate
+
+import (
+	"fmt"
+
+	"atcsim/internal/cache"
+	"atcsim/internal/mem"
+)
+
+// lockstepSpacing is the cycle gap between consecutive ops in the
+// analytic-vs-queued lockstep driver: far larger than every latency in the
+// two-level harness, so the queued engine's deques are fully drained before
+// each new op. Under that schedule the inner caches of both engines observe
+// the same operations in the same order — timing may differ, state may not.
+const lockstepSpacing = 1024
+
+// TimingConfig parameterizes one lockstep comparison: the replacement
+// policies at the two levels and whether the upper level runs the paper's
+// ATP prefetch (exercising the queued engine's VAPQ staging path).
+//
+// The harness is deliberately a standalone two-level hierarchy over a
+// fixed-latency backing store — no DRAM model, no TEMPO hook, no attached
+// multi-candidate prefetcher. Those reenter the hierarchy mid-access in the
+// analytic engine (a TEMPO prefetch installs during the LLC access that
+// triggered it) but after the access in the queued engine, so their install
+// order is a genuine timing artifact, not a state bug; the full-system
+// queued configuration is covered by its own separately-baselined goldens
+// instead.
+type TimingConfig struct {
+	Name      string
+	TopPolicy string
+	BotPolicy string
+	ATP       bool
+}
+
+// TimingConfigs returns the lockstep configurations the harness runs:
+// plain LRU, the dueling/signature policies, and the translation-conscious
+// variants with ATP on.
+func TimingConfigs() []TimingConfig {
+	return []TimingConfig{
+		{Name: "lru", TopPolicy: "lru", BotPolicy: "lru"},
+		{Name: "drrip-ship", TopPolicy: "drrip", BotPolicy: "ship"},
+		{Name: "atp-translation", TopPolicy: "t-drrip", BotPolicy: "t-ship", ATP: true},
+	}
+}
+
+// timingHarness is one engine's two-level hierarchy.
+type timingHarness struct {
+	top *cache.Cache
+	bot *cache.Cache
+	low *fixedLower
+}
+
+func newTimingPair(tc TimingConfig) (analytic, queued timingHarness, qs [2]*cache.Queued, err error) {
+	topCfg := cache.Config{
+		Name: "TOP", Level: mem.LvlL2,
+		SizeBytes: 16 * 4 * mem.LineSize, Ways: 4,
+		Latency: 4, MSHRs: 16, Policy: tc.TopPolicy, ATP: tc.ATP,
+	}
+	botCfg := cache.Config{
+		Name: "BOT", Level: mem.LvlLLC,
+		SizeBytes: 64 * 8 * mem.LineSize, Ways: 8,
+		Latency: 12, MSHRs: 32, Policy: tc.BotPolicy,
+	}
+
+	analytic.low = &fixedLower{lat: 24}
+	analytic.bot, err = cache.New(botCfg, analytic.low)
+	if err != nil {
+		return
+	}
+	analytic.top, err = cache.New(topCfg, analytic.bot)
+	if err != nil {
+		return
+	}
+
+	queued.low = &fixedLower{lat: 24}
+	queued.bot, err = cache.New(botCfg, queued.low)
+	if err != nil {
+		return
+	}
+	qbot := cache.NewQueued(queued.bot, cache.DefaultQueueConfig(mem.LvlLLC))
+	queued.top, err = cache.New(topCfg, qbot)
+	if err != nil {
+		return
+	}
+	qtop := cache.NewQueued(queued.top, cache.DefaultQueueConfig(mem.LvlL2))
+	qs = [2]*cache.Queued{qtop, qbot}
+	return
+}
+
+// DiffTiming replays ops through the analytic engine and through the queued
+// engine in lockstep, draining the queues after every op, and asserts the
+// two reach identical state: the same hit/miss outcome and servicing level
+// per op, bit-identical set contents at both levels after every op (which
+// pins down eviction victims exactly), equal statistics except latency
+// accumulators, and equal final writeback counts at the backing store. It
+// returns a descriptive error at the first divergence.
+func DiffTiming(ops []Op, tc TimingConfig) error {
+	an, qu, qs, err := newTimingPair(tc)
+	if err != nil {
+		return err
+	}
+	qtop, qbot := qs[0], qs[1]
+
+	cycle := int64(0)
+	for i, op := range ops {
+		cycle += lockstepSpacing
+
+		beforeTopA, beforeBotA := totalMisses(an.top), totalMisses(an.bot)
+		beforeTopQ, beforeBotQ := totalMisses(qu.top), totalMisses(qu.bot)
+
+		resA := an.top.Access(op.request(0), cycle)
+		resQ := qtop.Access(op.request(0), cycle)
+		qtop.Drain()
+		qbot.Drain()
+
+		if resA.Src != resQ.Src {
+			return fmt.Errorf("%s op %d (%v %#x): serviced by %v analytic, %v queued",
+				tc.Name, i, op.Kind, op.Addr, resA.Src, resQ.Src)
+		}
+		if dA, dQ := totalMisses(an.top)-beforeTopA, totalMisses(qu.top)-beforeTopQ; dA != dQ {
+			return fmt.Errorf("%s op %d (%v %#x): upper-level misses %d analytic, %d queued",
+				tc.Name, i, op.Kind, op.Addr, dA, dQ)
+		}
+		if dA, dQ := totalMisses(an.bot)-beforeBotA, totalMisses(qu.bot)-beforeBotQ; dA != dQ {
+			return fmt.Errorf("%s op %d (%v %#x): lower-level misses %d analytic, %d queued",
+				tc.Name, i, op.Kind, op.Addr, dA, dQ)
+		}
+		if err := compareContents(an.top, qu.top); err != nil {
+			return fmt.Errorf("%s op %d (%v %#x): upper level: %w", tc.Name, i, op.Kind, op.Addr, err)
+		}
+		if err := compareContents(an.bot, qu.bot); err != nil {
+			return fmt.Errorf("%s op %d (%v %#x): lower level: %w", tc.Name, i, op.Kind, op.Addr, err)
+		}
+		if i%256 == 0 {
+			if err := lockstepInvariants(an, qtop, qbot); err != nil {
+				return fmt.Errorf("%s op %d: %w", tc.Name, i, err)
+			}
+		}
+	}
+
+	if err := lockstepInvariants(an, qtop, qbot); err != nil {
+		return fmt.Errorf("%s at end: %w", tc.Name, err)
+	}
+	if err := timingStatsEqual("upper level", an.top.Stats(), qu.top.Stats()); err != nil {
+		return fmt.Errorf("%s: %w", tc.Name, err)
+	}
+	if err := timingStatsEqual("lower level", an.bot.Stats(), qu.bot.Stats()); err != nil {
+		return fmt.Errorf("%s: %w", tc.Name, err)
+	}
+	if an.low.writebacks != qu.low.writebacks {
+		return fmt.Errorf("%s: backing-store writebacks diverged: %d analytic, %d queued",
+			tc.Name, an.low.writebacks, qu.low.writebacks)
+	}
+	return nil
+}
+
+func lockstepInvariants(an timingHarness, qtop, qbot *cache.Queued) error {
+	if err := an.top.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := an.bot.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := qtop.CheckInvariants(); err != nil {
+		return err
+	}
+	return qbot.CheckInvariants()
+}
+
+// compareContents asserts two caches hold exactly the same lines in every
+// set. Way order may differ only if a victim choice differed, so the lines
+// are compared sorted — any real divergence still shows as a content
+// mismatch on the op that caused it.
+func compareContents(a, b *cache.Cache) error {
+	if a.Sets() != b.Sets() {
+		return fmt.Errorf("geometry mismatch: %d vs %d sets", a.Sets(), b.Sets())
+	}
+	for set := 0; set < a.Sets(); set++ {
+		la := sortedLines(a.SetContents(set))
+		lb := sortedLines(b.SetContents(set))
+		if !equalLines(la, lb) {
+			return fmt.Errorf("set %d contents diverged: analytic %v, queued %v", set, la, lb)
+		}
+	}
+	return nil
+}
+
+// timingStatsEqual compares two levels' statistics, ignoring the latency
+// accumulators (the queued engine shifts cycles by design) but holding
+// every behavioral counter — accesses, misses, evictions, dead evictions,
+// writebacks, prefetch outcomes, merges, bypasses — bit-equal.
+func timingStatsEqual(name string, a, b cache.Stats) error {
+	a.LatencySum = [mem.NumClasses]uint64{}
+	b.LatencySum = [mem.NumClasses]uint64{}
+	if a != b {
+		return fmt.Errorf("%s stats diverged:\nanalytic %+v\nqueued   %+v", name, a, b)
+	}
+	return nil
+}
+
+// StressQueued replays ops back-to-back (spacing cycles apart) through a
+// two-level queued hierarchy with deliberately tiny deques, so every
+// backpressure path — rq_full stalls, wq drain, pq drops, mshr_full
+// head-of-line blocking — is constantly exercised, and audits the queue and
+// cache invariants as it goes. No equality claim is made against the
+// analytic engine here: with queues this small, prefetch drops and forwards
+// legitimately change state.
+func StressQueued(ops []Op, spacing int64, qc cache.QueueConfig) error {
+	low := &fixedLower{lat: 40}
+	bot, err := cache.New(cache.Config{
+		Name: "BOT", Level: mem.LvlLLC,
+		SizeBytes: 8 * 4 * mem.LineSize, Ways: 4,
+		Latency: 12, MSHRs: 2, Policy: "lru",
+	}, low)
+	if err != nil {
+		return err
+	}
+	qbot := cache.NewQueued(bot, qc)
+	top, err := cache.New(cache.Config{
+		Name: "TOP", Level: mem.LvlL2,
+		SizeBytes: 4 * 2 * mem.LineSize, Ways: 2,
+		Latency: 4, MSHRs: 2, Policy: "lru", ATP: true,
+	}, qbot)
+	if err != nil {
+		return err
+	}
+	qtop := cache.NewQueued(top, qc)
+
+	cycle := int64(0)
+	for i, op := range ops {
+		cycle += spacing
+		res := qtop.Access(op.request(0), cycle)
+		if res.Ready < cycle {
+			return fmt.Errorf("op %d (%v %#x): ready %d before issue %d", i, op.Kind, op.Addr, res.Ready, cycle)
+		}
+		if i%64 == 0 {
+			if err := qtop.CheckInvariants(); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			if err := qbot.CheckInvariants(); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+	}
+	qtop.Drain()
+	qbot.Drain()
+	if err := qtop.CheckInvariants(); err != nil {
+		return err
+	}
+	return qbot.CheckInvariants()
+}
+
+// ClassStream synthesizes a seeded stream dominated (~80%) by one request
+// class, with a thin mixed background so the focal class interacts with
+// realistic residue. Recognized classes: "load-hot", "load-scan",
+// "load-random", "store", "translation", "writeback".
+func ClassStream(class string, seed int64, n, capacityLines int) ([]Op, error) {
+	r := newRNG(seed)
+	if capacityLines < 8 {
+		capacityLines = 8
+	}
+	hotPool := capacityLines / 2
+	randPool := capacityLines * 8
+	transPool := capacityLines / 4
+	scanPos := 0
+
+	focal := func() (Op, bool) {
+		switch class {
+		case "load-hot":
+			return Op{Kind: mem.Load, IP: 0x40_0000, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}, true
+		case "load-scan":
+			scanPos++
+			return Op{Kind: mem.Load, IP: 0x40_0008, Addr: mem.Addr(0x10_0000+scanPos) << mem.LineBits}, true
+		case "load-random":
+			return Op{Kind: mem.Load, IP: 0x40_0010, Addr: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits}, true
+		case "store":
+			return Op{Kind: mem.Store, IP: 0x40_0020, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}, true
+		case "translation":
+			return Op{
+				Kind: mem.Translation, IP: 0x40_0018,
+				Addr:  mem.Addr(0x30_0000+r.intn(transPool)) << mem.LineBits,
+				Level: 1, Leaf: true,
+				ReplayTarget: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits,
+			}, true
+		case "writeback":
+			return Op{Kind: mem.Writeback, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits}, true
+		}
+		return Op{}, false
+	}
+
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		if r.intn(100) < 80 {
+			o, ok := focal()
+			if !ok {
+				return nil, fmt.Errorf("validate: unknown stream class %q", class)
+			}
+			ops = append(ops, o)
+			continue
+		}
+		// Mixed background: loads, stores and the occasional writeback.
+		switch p := r.intn(100); {
+		case p < 50:
+			ops = append(ops, Op{Kind: mem.Load, IP: 0x40_0010, Addr: mem.Addr(0x20_0000+r.intn(randPool)) << mem.LineBits})
+		case p < 70:
+			ops = append(ops, Op{Kind: mem.Load, IP: 0x40_0000, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits})
+		case p < 85:
+			ops = append(ops, Op{Kind: mem.Store, IP: 0x40_0020, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits})
+		default:
+			ops = append(ops, Op{Kind: mem.Writeback, Addr: mem.Addr(r.intn(hotPool)) << mem.LineBits})
+		}
+	}
+	return ops, nil
+}
+
+// StreamClasses lists the classes ClassStream recognizes, in the order the
+// lockstep tests sweep them.
+func StreamClasses() []string {
+	return []string{"load-hot", "load-scan", "load-random", "store", "translation", "writeback"}
+}

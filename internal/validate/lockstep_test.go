@@ -1,0 +1,67 @@
+package validate
+
+import (
+	"testing"
+
+	"atcsim/internal/cache"
+)
+
+// lockstepOps is the per-class stream length: the acceptance bar is
+// agreement over at least 10k seeded requests per workload class.
+const lockstepOps = 10_000
+
+// TestLockstepPerClass proves the analytic and queued engines agree on
+// hit/miss, servicing level, eviction victims and full cache contents for
+// every request-class-dominated stream, across all lockstep configurations.
+func TestLockstepPerClass(t *testing.T) {
+	for _, class := range StreamClasses() {
+		for _, tc := range TimingConfigs() {
+			class, tc := class, tc
+			t.Run(class+"/"+tc.Name, func(t *testing.T) {
+				t.Parallel()
+				ops, err := ClassStream(class, 42, lockstepOps, 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := DiffTiming(ops, tc); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepMixedStream runs the generic mixed stream (the one the other
+// differential drivers use) through the lockstep harness on several seeds.
+func TestLockstepMixedStream(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		for _, tc := range TimingConfigs() {
+			seed, tc := seed, tc
+			t.Run(tc.Name, func(t *testing.T) {
+				t.Parallel()
+				if err := DiffTiming(Stream(seed, lockstepOps, 64), tc); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			})
+		}
+	}
+}
+
+// TestLockstepUnknownClass pins the ClassStream error path.
+func TestLockstepUnknownClass(t *testing.T) {
+	if _, err := ClassStream("nope", 1, 8, 8); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// TestStressQueuedTinyQueues hammers a two-level queued hierarchy with
+// near-zero spacing and 1–2 entry deques: every backpressure path fires and
+// the invariant checkers must stay green throughout.
+func TestStressQueuedTinyQueues(t *testing.T) {
+	tiny := cache.QueueConfig{RQ: 2, WQ: 1, PQ: 1, VAPQ: 1, MaxRead: 1, MaxWrite: 1}
+	for _, seed := range []int64{3, 99} {
+		if err := StressQueued(Stream(seed, lockstepOps, 32), 2, tiny); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

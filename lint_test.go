@@ -238,9 +238,9 @@ func TestUsageDocMentionsFlags(t *testing.T) {
 		mustShow        []string
 	}{
 		{"cmd/atcsim/main.go", "cmd/atcsim/main.go",
-			[]string{"-mechanism", "-metrics-addr", "-metrics-log", "-trace-out"}},
+			[]string{"-mechanism", "-timing", "-metrics-addr", "-metrics-log", "-trace-out"}},
 		{"cmd/figures/main.go", "internal/figurescli/figurescli.go",
-			[]string{"-list-mechanisms", "-metrics-addr", "-log-level", "-flight-recorder"}},
+			[]string{"-list-mechanisms", "-timing", "-metrics-addr", "-log-level", "-flight-recorder"}},
 	} {
 		src, err := os.ReadFile(tool.source)
 		if err != nil {

@@ -55,4 +55,13 @@ func WriteReport(w io.Writer, res *Result) {
 	fmt.Fprintf(w, "on-chip translation hit rate: %.2f%%\n", 100*res.TranslationHitRate())
 	fmt.Fprintf(w, "DRAM: %d reads, %d writes, avg read latency %.0f cycles, TEMPO prefetches %d\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.AvgReadLatency(), res.DRAM.TEMPOIssued)
+	// The queued timing engine gets per-level backpressure lines; analytic
+	// runs have no Queues rows and print nothing here, keeping legacy
+	// reports (and their goldens) byte-identical.
+	for i := range res.Queues {
+		q := &res.Queues[i]
+		fmt.Fprintf(w, "queues %s: rq_full %d, rq_merged %d, wq_full %d, wq_forward %d, pq_full %d, pq_merged %d, vapq_full %d, mshr_full %d\n",
+			q.Name, q.Q.RQFull, q.Q.RQMerged, q.Q.WQFull, q.Q.WQForward,
+			q.Q.PQFull, q.Q.PQMerged, q.Q.VAPQFull, q.Q.MSHRFull)
+	}
 }
