@@ -499,22 +499,41 @@ func (r *Runner) TryTraceSeeded(name string, seed int64) (*trace.Trace, error) {
 	return t, nil
 }
 
+// RunSource classifies where a governed run's result came from, so service
+// callers can count real computes apart from deduplicated requests.
+type RunSource string
+
+// Result provenance values returned by RunOne (and internally by cached).
+const (
+	// SourceComputed: this request performed the simulation.
+	SourceComputed RunSource = "computed"
+	// SourceDisk: this request loaded the result from the on-disk store.
+	SourceDisk RunSource = "disk"
+	// SourceShared: this request coalesced onto another in-flight or
+	// already-memoized execution in this process (single-flight dedup).
+	SourceShared RunSource = "shared"
+)
+
 // cached is the engine core every simulation goes through: it derives the
 // canonical run key, consults the in-memory single-flight cache and the
 // optional disk cache, and otherwise executes sim on the worker pool under
-// the sweep context — with the configured per-run deadline, retry policy
-// and fault plan — persisting the fresh result. A permanent failure
+// ctx — with the given per-run deadline, the configured retry policy and
+// fault plan — persisting the fresh result. Sweep-driven callers pass the
+// sweep context and runner-wide deadline; service callers thread a
+// per-request context/deadline through instead. A permanent failure
 // (including a captured panic) is returned as a *RunError carrying the
 // label/name run identity; the failed cache entry re-arms, so a later
 // request for the same key retries instead of inheriting the failure.
-func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
-	cfg system.Config, sim func() (*system.Result, error)) (*system.Result, error) {
+func (r *Runner) cached(ctx context.Context, timeout time.Duration,
+	label, name, kind string, names []string, seeds []int64,
+	cfg system.Config, sim func() (*system.Result, error)) (*system.Result, RunSource, error) {
 	key, err := runner.NewKey(kind, names, seeds, r.sc.TraceLen, cfg)
 	if err != nil {
-		return nil, &RunError{Label: label, Name: name, Attempts: 1,
+		return nil, SourceComputed, &RunError{Label: label, Name: name, Attempts: 1,
 			Err: fmt.Errorf("derive run key: %w", err)}
 	}
 	id := label + "/" + name
+	src := SourceShared // overwritten when this call's compute closure runs
 	res, _, err := r.results.Do(key.Hash(), func() (*system.Result, error) {
 		r.runsTable.Queued(id, key.Hash())
 		fromDisk := new(system.Result)
@@ -524,11 +543,13 @@ func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
 		} else if ok {
 			r.noteDiskHit()
 			r.runsTable.Cached(id)
+			src = SourceDisk
 			return fromDisk, nil
 		}
+		src = SourceComputed
 		var out *system.Result
 		attempt := 0
-		rr := runner.Execute(r.ctx, r.retry, func(ctx context.Context) error {
+		rr := runner.Execute(ctx, r.retry, func(ctx context.Context) error {
 			attempt++
 			r.runsTable.Running(id, attempt)
 			if attempt == 1 {
@@ -542,7 +563,7 @@ func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
 			var res *system.Result
 			var serr error
 			r.pool.Run(func() {
-				res, serr = runner.Bounded(ctx, r.runTimeout, sim)
+				res, serr = runner.Bounded(ctx, timeout, sim)
 			})
 			if serr != nil {
 				return serr
@@ -577,9 +598,9 @@ func (r *Runner) cached(label, name, kind string, names []string, seeds []int64,
 		return out, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, src, err
 	}
-	return res, nil
+	return res, src, nil
 }
 
 // baseConfig is the scale-adjusted Table I configuration.
@@ -617,11 +638,50 @@ func (r *Runner) runSeeded(label, name string, seed int64, mod func(*system.Conf
 
 // trySeeded is the error-returning core of Run/runSeeded.
 func (r *Runner) trySeeded(label, name string, seed int64, mod func(*system.Config)) (*system.Result, error) {
+	res, _, err := r.runOne(r.ctx, r.runTimeout, label, name, seed, mod)
+	return res, err
+}
+
+// KeyFor derives the canonical run key a single-core run request maps to —
+// the content-addressed identity a sweep service exposes as its API
+// contract — without executing anything. mod receives the scale-adjusted
+// base configuration exactly as Run would apply it.
+func (r *Runner) KeyFor(name string, seed int64, mod func(*system.Config)) (runner.Key, error) {
 	cfg := r.baseConfig()
 	if mod != nil {
 		mod(&cfg)
 	}
-	return r.cached(label, name, runner.KindSingle, []string{name}, []int64{seed}, cfg,
+	return runner.NewKey(runner.KindSingle, []string{name}, []int64{seed}, r.sc.TraceLen, cfg)
+}
+
+// RunOne executes (or fetches) one governed single-core simulation on
+// behalf of a service request. ctx bounds the computation — pass the
+// service's lifetime context, not a per-client one, because single-flight
+// waiters share the computing call's context; a nil ctx selects the
+// runner's sweep context. timeout, when positive, overrides the
+// runner-wide per-run deadline for this request and is propagated through
+// context into runner.Bounded. The returned RunSource reports whether this
+// request computed the result, loaded it from disk, or coalesced onto a
+// shared execution. Failures come back as a *RunError; nothing aborts.
+func (r *Runner) RunOne(ctx context.Context, label, name string, seed int64,
+	timeout time.Duration, mod func(*system.Config)) (*system.Result, RunSource, error) {
+	if ctx == nil {
+		ctx = r.ctx
+	}
+	if timeout <= 0 {
+		timeout = r.runTimeout
+	}
+	return r.runOne(ctx, timeout, label, name, seed, mod)
+}
+
+// runOne is the shared single-core core behind trySeeded and RunOne.
+func (r *Runner) runOne(ctx context.Context, timeout time.Duration,
+	label, name string, seed int64, mod func(*system.Config)) (*system.Result, RunSource, error) {
+	cfg := r.baseConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	return r.cached(ctx, timeout, label, name, runner.KindSingle, []string{name}, []int64{seed}, cfg,
 		func() (*system.Result, error) {
 			tr, err := r.TryTraceSeeded(name, seed)
 			if err != nil {

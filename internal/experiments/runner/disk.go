@@ -21,12 +21,21 @@ import (
 const FormatVersion = 2
 
 // Disk is an on-disk result store: one JSON file per run key, named by the
-// key's hash. Writes are atomic (temp file + rename), so a sweep killed
-// mid-write never leaves a half-entry under the final name, and every entry
-// carries a SHA-256 checksum of its result payload. Corruption — an
-// unparseable file or a checksum mismatch — is detected on load, the entry
-// is quarantined to a ".bad" sibling file for post-mortem inspection, and
-// the result is recomputed; corruption is never trusted and never fatal.
+// key's hash. Writes are crash-safe: the entry is written to a temp file in
+// the cache directory, fsynced, and only then atomically renamed into
+// place (with a best-effort directory fsync to persist the rename), so a
+// process killed at any instant — mid-write, mid-drain, even SIGKILL —
+// never leaves a torn entry under a final name. A restart sees either the
+// complete entry or a plain miss; stale temp files from killed writers are
+// swept when the directory is reopened. Every entry carries a SHA-256
+// checksum of its result payload. Corruption — an unparseable file or a
+// checksum mismatch — is detected on load, the entry is quarantined to a
+// ".bad" sibling file for post-mortem inspection, and the result is
+// recomputed; corruption is never trusted and never fatal.
+//
+// A cache directory belongs to one live process at a time (sequential
+// reuse — resume, warm restart — is the supported sharing model); the
+// stale-temp sweep at open assumes no concurrent writer.
 //
 // A nil *Disk is valid and behaves as an always-miss, discard-writes store.
 type Disk struct {
@@ -51,13 +60,21 @@ type envelope struct {
 }
 
 // NewDisk opens (creating if necessary) a cache directory. The directory
-// path is embedded in any error so callers can report it verbatim.
+// path is embedded in any error so callers can report it verbatim. Stale
+// temp files left behind by a writer killed mid-Store are swept here: they
+// were never renamed into place, so they are invisible to Load and safe to
+// delete.
 func NewDisk(dir string) (*Disk, error) {
 	if dir == "" {
 		return nil, errors.New("runner: empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: cannot create cache directory %q: %w", dir, err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "entry-*.tmp")); err == nil {
+		for _, path := range stale {
+			os.Remove(path)
+		}
 	}
 	return &Disk{dir: dir}, nil
 }
@@ -153,7 +170,11 @@ func (d *Disk) Load(k Key, out any) (ok bool, err error) {
 }
 
 // Store writes v as the cached result for k, atomically replacing any
-// existing entry.
+// existing entry. The write is crash-safe: the envelope lands in a temp
+// file first, is fsynced to stable storage, and only then renamed onto the
+// final name, followed by a best-effort fsync of the directory itself — a
+// kill at any point leaves either the old entry, the new entry, or a
+// sweep-on-reopen temp file, never a torn entry.
 func (d *Disk) Store(k Key, v any) error {
 	if d == nil {
 		return nil
@@ -185,6 +206,11 @@ func (d *Disk) Store(k Key, v any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("runner: cache write %q: %w", tmpName, err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runner: cache sync %q: %w", tmpName, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("runner: cache write %q: %w", tmpName, err)
@@ -193,7 +219,21 @@ func (d *Disk) Store(k Key, v any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("runner: cache commit %q: %w", d.path(k), err)
 	}
+	d.syncDir()
 	return nil
+}
+
+// syncDir fsyncs the cache directory so a just-committed rename survives a
+// crash. Best effort: some platforms/filesystems reject directory fsync,
+// and a failed directory sync only weakens durability, never correctness —
+// Load either sees the complete entry or a miss.
+func (d *Disk) syncDir() {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return
+	}
+	f.Sync()
+	f.Close()
 }
 
 // tamper flips one decimal digit of a JSON payload, leaving it parseable so

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// crashResult is the opaque payload stored in the crash-safety tests.
+type crashResult struct {
+	IPC   float64
+	Notes string
+}
+
+func crashKey(t *testing.T, name string) Key {
+	t.Helper()
+	k, err := NewKey(KindSingle, []string{name}, []int64{1}, 1000, map[string]int{"ways": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestStoreKilledMidWriteLeavesNoTornEntry simulates a process killed at
+// every interesting instant of Disk.Store — after the temp file is created,
+// after a partial write, after a full write but before the rename — and
+// proves a restart sees either a complete entry or a plain miss: never a
+// torn entry, never a quarantine, and the stale temp files are swept.
+func TestStoreKilledMidWriteLeavesNoTornEntry(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := crashKey(t, "committed")
+	if err := d.Store(committed, crashResult{IPC: 1.25, Notes: "good"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A full, valid envelope that was never renamed into place (killed
+	// between fsync and rename).
+	pending := crashKey(t, "pending")
+	raw, _ := json.Marshal(crashResult{IPC: 0.5})
+	env, _ := json.Marshal(envelope{Version: FormatVersion, Key: pending, Checksum: checksum(raw), Result: raw})
+	if err := os.WriteFile(filepath.Join(dir, "entry-killed1.tmp"), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A half-written temp file (killed mid-write).
+	if err := os.WriteFile(filepath.Join(dir, "entry-killed2.tmp"), env[:len(env)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An empty temp file (killed right after CreateTemp).
+	if err := os.WriteFile(filepath.Join(dir, "entry-killed3.tmp"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the same directory.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got crashResult
+	ok, err := d2.Load(committed, &got)
+	if err != nil || !ok {
+		t.Fatalf("committed entry lost after restart: ok=%v err=%v", ok, err)
+	}
+	if got.IPC != 1.25 || got.Notes != "good" {
+		t.Errorf("committed entry corrupted: %+v", got)
+	}
+	if ok, err := d2.Load(pending, &got); err != nil || ok {
+		t.Errorf("never-renamed entry must be a plain miss: ok=%v err=%v", ok, err)
+	}
+	if n := d2.Quarantined(); n != 0 {
+		t.Errorf("restart quarantined %d entries, want 0 (temp files are not torn entries)", n)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "entry-*.tmp")); len(stale) != 0 {
+		t.Errorf("stale temp files survived reopen: %v", stale)
+	}
+	if bad, _ := filepath.Glob(filepath.Join(dir, "*.bad")); len(bad) != 0 {
+		t.Errorf("restart produced quarantine files: %v", bad)
+	}
+}
+
+// TestStoreTruncatedFinalEntryQuarantinedNotTrusted is the complementary
+// guarantee: if a torn entry somehow does land under a final name (a
+// filesystem without atomic rename, manual tampering), the restart
+// quarantines and recomputes instead of trusting it.
+func TestStoreTruncatedFinalEntryQuarantinedNotTrusted(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := crashKey(t, "torn")
+	if err := d.Store(k, crashResult{IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.Hash()+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got crashResult
+	ok, lerr := d2.Load(k, &got)
+	if lerr != nil || ok {
+		t.Fatalf("torn final entry trusted: ok=%v err=%v", ok, lerr)
+	}
+	if n := d2.Quarantined(); n != 1 {
+		t.Errorf("Quarantined() = %d, want 1", n)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("no .bad quarantine file: %v", err)
+	}
+}
+
+// TestStoreConcurrentWithReopenKeepsEntriesReadable drives Store and
+// restart-style NewDisk sweeps concurrently on different directories to
+// shake out fsync/rename ordering bugs under the race detector.
+func TestStoreRoundTripAfterSync(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		k := crashKey(t, strings.Repeat("x", i+1))
+		if err := d.Store(k, crashResult{IPC: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		var got crashResult
+		if ok, err := d.Load(k, &got); err != nil || !ok || got.IPC != float64(i) {
+			t.Fatalf("entry %d: ok=%v err=%v got=%+v", i, ok, err, got)
+		}
+	}
+}

@@ -58,6 +58,12 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential backoff.
 	MaxDelay time.Duration
+	// Jitter, when non-nil, supplies the backoff jitter samples in [0, 1)
+	// in place of the process-global RNG, so backoff schedules can be made
+	// reproducible under a seeded source. One policy may serve many
+	// concurrent runs (the experiment engine shares a single policy per
+	// sweep), so the function must be safe for concurrent use.
+	Jitter func() float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -74,22 +80,84 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // backoff is the sleep before retry number `retry` (1-based), with jitter.
+// The exponent is overflow-safe: doubling stops as soon as another step
+// would reach the cap, so arbitrarily high retry counts (an aggressive
+// service-side retry budget) can never wrap the duration negative or spin
+// the loop.
 func (p RetryPolicy) backoff(retry int) time.Duration {
 	d := p.BaseDelay
-	for i := 1; i < retry && d < p.MaxDelay; i++ {
+	for i := 1; i < retry; i++ {
+		if d >= p.MaxDelay/2 {
+			d = p.MaxDelay
+			break
+		}
 		d *= 2
 	}
 	if d > p.MaxDelay {
 		d = p.MaxDelay
 	}
-	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+	jitter := rand.Float64
+	if p.Jitter != nil {
+		jitter = p.Jitter
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*jitter()))
+}
+
+// transientClass is the verdict of an explicit Transient() classification
+// found while walking an error chain.
+type transientClass int
+
+const (
+	classUnknown   transientClass = iota // no Transient() anywhere in the chain
+	classPermanent                       // some error said Transient() == false
+	classTransient                       // some error said Transient() == true
+)
+
+// classifyTransient walks the full wrap chain — fmt.Errorf("…: %w", err),
+// errors.Join and custom Unwrap() []error trees included — looking for an
+// explicit Transient() classification. A transient verdict anywhere in the
+// chain wins: wrapping a retryable fault in context ("cache read …: %w")
+// must not silently turn it permanent. An explicit permanent verdict is
+// remembered so structural heuristics (fs.PathError) cannot override a
+// deliberate classification.
+func classifyTransient(err error) transientClass {
+	if err == nil {
+		return classUnknown
+	}
+	cls := classUnknown
+	if tr, ok := err.(interface{ Transient() bool }); ok {
+		if tr.Transient() {
+			return classTransient
+		}
+		cls = classPermanent
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		if c := classifyTransient(u.Unwrap()); c == classTransient {
+			return classTransient
+		} else if c == classPermanent {
+			cls = classPermanent
+		}
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			if c := classifyTransient(e); c == classTransient {
+				return classTransient
+			} else if c == classPermanent {
+				cls = classPermanent
+			}
+		}
+	}
+	return cls
 }
 
 // IsRetryable classifies an error as transient (worth retrying) or
 // permanent. Injected transient faults (anything implementing
-// Transient() bool), filesystem errors and truncated reads are transient;
-// panics, context cancellation/expiry, determinism violations and every
-// other failure are permanent.
+// Transient() bool, at any depth of the wrap chain), filesystem errors and
+// truncated reads are transient; panics, context cancellation/expiry,
+// explicit permanent classifications, determinism violations and every
+// other failure are permanent. Wrapping — fmt.Errorf("…: %w", err),
+// errors.Join, nested chains — never changes the verdict of the underlying
+// cause.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false
@@ -101,9 +169,11 @@ func IsRetryable(err error) bool {
 	if errors.As(err, &pe) {
 		return false
 	}
-	var tr interface{ Transient() bool }
-	if errors.As(err, &tr) {
-		return tr.Transient()
+	switch classifyTransient(err) {
+	case classTransient:
+		return true
+	case classPermanent:
+		return false
 	}
 	var pathErr *fs.PathError
 	if errors.As(err, &pathErr) {

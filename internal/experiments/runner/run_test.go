@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -15,6 +18,12 @@ type transientErr struct{ msg string }
 
 func (e *transientErr) Error() string   { return e.msg }
 func (e *transientErr) Transient() bool { return true }
+
+// permanentErr is a test double for an explicitly permanent failure.
+type permanentErr struct{ msg string }
+
+func (e *permanentErr) Error() string   { return e.msg }
+func (e *permanentErr) Transient() bool { return false }
 
 func fastPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
@@ -177,6 +186,38 @@ func TestIsRetryableClassification(t *testing.T) {
 		{context.DeadlineExceeded, false},
 		{fmt.Errorf("run refused: %w", context.Canceled), false},
 		{&PanicError{Value: "boom"}, false},
+
+		// Wrapping must never change the verdict of the underlying cause.
+		// A *fs.PathError buried under the disk cache's error prefix is the
+		// exact shape Disk.Load/Store produce on I/O failure.
+		{fmt.Errorf("runner: cache read %q: %w", "/c/abc.json",
+			&fs.PathError{Op: "read", Path: "/c/abc.json", Err: errors.New("input/output error")}), true},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w",
+			&fs.PathError{Op: "open", Path: "/x", Err: errors.New("io")})), true},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", &transientErr{"deep"})), true},
+		{fmt.Errorf("wrap: %w", io.ErrUnexpectedEOF), true},
+
+		// errors.Join trees: a transient branch anywhere makes the whole
+		// failure worth retrying; all-permanent branches do not.
+		{errors.Join(errors.New("plain"), &transientErr{"joined"}), true},
+		{errors.Join(errors.New("plain"), fmt.Errorf("wrap: %w", &transientErr{"deep joined"})), true},
+		{errors.Join(errors.New("plain"), errors.New("also plain")), false},
+
+		// An explicit permanent classification is deliberate: it beats the
+		// structural fs.PathError heuristic even when both are in the chain.
+		{&permanentErr{"gave up"}, false},
+		{fmt.Errorf("wrap: %w", &permanentErr{"gave up"}), false},
+		{errors.Join(&permanentErr{"gave up"},
+			&fs.PathError{Op: "open", Path: "/x", Err: errors.New("io")}), false},
+		// …but an explicit transient verdict elsewhere still wins.
+		{errors.Join(&permanentErr{"gave up"}, &transientErr{"retry me"}), true},
+
+		// Cancellation/expiry stay permanent no matter how deeply wrapped or
+		// what they are joined with.
+		{fmt.Errorf("a: %w", fmt.Errorf("b: %w", context.DeadlineExceeded)), false},
+		{errors.Join(&transientErr{"x"}, context.Canceled), false},
+		// A panic wrapped in a transient join is still a crash, not a retry.
+		{errors.Join(&transientErr{"x"}, &PanicError{Value: "boom"}), false},
 	}
 	for i, c := range cases {
 		if got := IsRetryable(c.err); got != c.want {
@@ -194,6 +235,77 @@ func TestBackoffCappedAndJittered(t *testing.T) {
 		}
 		if d < p.BaseDelay/2 {
 			t.Errorf("retry %d: backoff %v below base/2", retry, d)
+		}
+	}
+}
+
+func TestBackoffDeterministicUnderSeededJitter(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		p := RetryPolicy{
+			BaseDelay: 5 * time.Millisecond,
+			MaxDelay:  250 * time.Millisecond,
+			Jitter:    rng.Float64,
+		}.withDefaults()
+		out := make([]time.Duration, 0, 12)
+		for retry := 1; retry <= 12; retry++ {
+			out = append(out, p.backoff(retry))
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: same seed gave %v then %v", i+1, a[i], b[i])
+		}
+	}
+	// Different seeds must actually exercise the jitter seam: at least one
+	// step should differ (12 identical samples would mean Jitter is ignored).
+	c := schedule(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules: Jitter not used")
+	}
+}
+
+func TestBackoffHighRetryCountOverflowSafe(t *testing.T) {
+	// A service-side retry budget can push retry counts far past the point
+	// where naive 1<<retry arithmetic wraps. With no jitter floor below 0.5
+	// the result must stay in (0, MaxDelay] — never negative, never zero —
+	// even with the cap near the top of the int64 range.
+	one := func() float64 { return 0.999999 }
+	cases := []RetryPolicy{
+		{BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Jitter: one},
+		{BaseDelay: time.Millisecond, MaxDelay: math.MaxInt64 / 2, Jitter: one},
+		{BaseDelay: time.Hour, MaxDelay: math.MaxInt64, Jitter: one},
+	}
+	for ci, p := range cases {
+		p = p.withDefaults()
+		for _, retry := range []int{1, 2, 16, 63, 64, 65, 100, 1000, 1 << 20} {
+			d := p.backoff(retry)
+			if d <= 0 {
+				t.Errorf("case %d retry %d: backoff %v not positive (overflow?)", ci, retry, d)
+			}
+			if d > p.MaxDelay {
+				t.Errorf("case %d retry %d: backoff %v exceeds cap %v", ci, retry, d, p.MaxDelay)
+			}
+		}
+		// The schedule must be monotone non-decreasing up to the cap under
+		// constant jitter — a wrapped exponent would break monotonicity.
+		prev := time.Duration(0)
+		for retry := 1; retry <= 200; retry++ {
+			d := p.backoff(retry)
+			if d < prev {
+				t.Errorf("case %d: backoff decreased from %v to %v at retry %d", ci, prev, d, retry)
+				break
+			}
+			prev = d
 		}
 	}
 }

@@ -48,7 +48,7 @@ func (r *Runner) availableMixes(mixes [][2]string) [][2]string {
 func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
 	cfg := r.baseConfig()
 	cfg.Apply(e)
-	return must(r.cached("smt:"+e.String(), mix[0]+"-"+mix[1],
+	res, _, err := r.cached(r.ctx, r.runTimeout, "smt:"+e.String(), mix[0]+"-"+mix[1],
 		runner.KindSMT, mix[:], []int64{r.sc.Seed}, cfg,
 		func() (*system.Result, error) {
 			t0, err := r.TryTraceSeeded(mix[0], r.sc.Seed)
@@ -60,7 +60,8 @@ func (r *Runner) runSMT(mix [2]string, e system.Enhancement) *system.Result {
 				return nil, err
 			}
 			return system.RunSMT(cfg, t0, t1)
-		}))
+		})
+	return must(res, err)
 }
 
 // runMulti simulates a multi-programmed mix (one benchmark per core) under
@@ -71,7 +72,7 @@ func (r *Runner) runMulti(mix []string, e system.Enhancement) *system.Result {
 	cfg.Instructions /= 2
 	cfg.Warmup /= 2
 	cfg.Apply(e)
-	return must(r.cached("multi:"+e.String(), strings.Join(mix, "-"),
+	res, _, err := r.cached(r.ctx, r.runTimeout, "multi:"+e.String(), strings.Join(mix, "-"),
 		runner.KindMulti, mix, []int64{r.sc.Seed}, cfg,
 		func() (*system.Result, error) {
 			traces := make([]*trace.Trace, len(mix))
@@ -83,7 +84,8 @@ func (r *Runner) runMulti(mix []string, e system.Enhancement) *system.Result {
 				traces[i] = t
 			}
 			return system.RunMulti(cfg, traces)
-		}))
+		})
+	return must(res, err)
 }
 
 // Fig17 evaluates the full enhancement stack on a 2-way SMT core using the

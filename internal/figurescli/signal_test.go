@@ -1,0 +1,180 @@
+package figurescli
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncWriter is a goroutine-safe writer: Main runs on its own goroutine in
+// the signal tests while the test polls the accumulated output.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// interruptSweep starts Main on a goroutine, waits for the first completed
+// run (which guarantees signal.Notify is installed — signalling earlier
+// would hit the default disposition and kill the test process), then sends
+// sig to our own process and waits for Main to drain and return.
+func interruptSweep(t *testing.T, sig syscall.Signal, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	out, errw := &syncWriter{}, &syncWriter{}
+	done := make(chan int, 1)
+	go func() {
+		c, _ := Main(args, out, errw)
+		done <- c
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for !strings.Contains(errw.String(), `msg="run complete"`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("no run completed within a minute:\n%s", errw.String())
+		}
+		select {
+		case c := <-done:
+			t.Fatalf("sweep finished (code %d) before the first run-complete line:\n%s", c, errw.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-done:
+		return c, out.String(), errw.String()
+	case <-time.After(60 * time.Second):
+		t.Fatalf("sweep did not drain after %v:\n%s", sig, errw.String())
+		return 0, "", ""
+	}
+}
+
+var sweepCompleteRe = regexp.MustCompile(`msg="sweep complete" runs=(\d+) disk_hits=(\d+)`)
+
+// sweepCounts parses the -progress summary line from stderr.
+func sweepCounts(t *testing.T, stderr string) (runs, diskHits int) {
+	t.Helper()
+	m := sweepCompleteRe.FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("no sweep-complete line in stderr:\n%s", stderr)
+	}
+	runs, _ = strconv.Atoi(m[1])
+	diskHits, _ = strconv.Atoi(m[2])
+	return runs, diskHits
+}
+
+// TestSignalDrainAndResume is the graceful-shutdown contract for both
+// SIGINT and SIGTERM (parity): the first signal drains (exit 130, FAILED
+// markers for the experiments it cut short, a resume hint naming the cache
+// directory), and re-running with the same -cache-dir resumes from the
+// completed results — the resumed report is byte-identical to an
+// uninterrupted baseline, and the interrupted run's computed count comes
+// back entirely as disk hits.
+func TestSignalDrainAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-scale sweeps")
+	}
+	// Uninterrupted baseline: the reference report and total run count.
+	baseDir := t.TempDir()
+	baseCode, baseErrMsg, baseOut, baseErr := run(t,
+		"-scale", "quick", "-jobs", "4", "-cache-dir", baseDir, "-progress")
+	if baseCode != exitOK {
+		t.Fatalf("baseline sweep: code = %d, err = %q\n%s", baseCode, baseErrMsg, baseErr)
+	}
+	baseRuns, baseHits := sweepCounts(t, baseErr)
+	if baseRuns == 0 || baseHits != 0 {
+		t.Fatalf("baseline counts runs=%d disk_hits=%d; want computed-only", baseRuns, baseHits)
+	}
+
+	for _, tc := range []struct {
+		name string
+		sig  syscall.Signal
+	}{
+		{"SIGINT", syscall.SIGINT},
+		{"SIGTERM", syscall.SIGTERM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			code, stdout, stderr := interruptSweep(t, tc.sig,
+				"-scale", "quick", "-jobs", "1", "-cache-dir", dir, "-progress")
+			if code != exitInterrupted {
+				t.Fatalf("interrupted sweep: code = %d, want %d\n%s", code, exitInterrupted, stderr)
+			}
+			for _, want := range []string{
+				`msg="signal received`,
+				"signal=" + tc.sig.String(),
+				"re-run with the same -cache-dir to resume from completed results",
+				"interrupted:",
+			} {
+				if !strings.Contains(stderr, want) {
+					t.Errorf("stderr lacks %q:\n%s", want, stderr)
+				}
+			}
+			if !strings.Contains(stdout, "FAILED") {
+				t.Errorf("interrupted report has no FAILED markers:\n%s", stdout)
+			}
+			intRuns, _ := sweepCounts(t, stderr)
+			if intRuns == 0 {
+				t.Error("interrupted sweep completed zero runs; nothing to resume from")
+			}
+			if intRuns >= baseRuns {
+				t.Errorf("interrupted sweep computed %d of %d runs; signal landed too late", intRuns, baseRuns)
+			}
+
+			// Resume on the same cache directory: every result computed
+			// before the signal comes back from disk, only the remainder is
+			// recomputed, and the rendered report matches the baseline
+			// byte for byte.
+			resCode, resErrMsg, resOut, resErr := run(t,
+				"-scale", "quick", "-jobs", "4", "-cache-dir", dir, "-progress")
+			if resCode != exitOK {
+				t.Fatalf("resumed sweep: code = %d, err = %q\n%s", resCode, resErrMsg, resErr)
+			}
+			resRuns, resHits := sweepCounts(t, resErr)
+			if resHits != intRuns {
+				t.Errorf("resume loaded %d results from disk; interrupted run computed %d", resHits, intRuns)
+			}
+			if resRuns+resHits != baseRuns {
+				t.Errorf("resume accounting: %d computed + %d disk hits != %d baseline runs",
+					resRuns, resHits, baseRuns)
+			}
+			if resOut != baseOut {
+				t.Errorf("resumed report differs from uninterrupted baseline:\n--- baseline ---\n%s\n--- resumed ---\n%s",
+					baseOut, resOut)
+			}
+		})
+	}
+}
+
+// TestSignalWithoutCacheDirWarnsResultsLost pins the other half of the
+// resume hint: an interrupted sweep with no -cache-dir still drains and
+// exits 130, but warns that completed results are not resumable.
+func TestSignalWithoutCacheDirWarnsResultsLost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a partial quick-scale sweep")
+	}
+	code, _, stderr := interruptSweep(t, syscall.SIGTERM,
+		"-scale", "quick", "-jobs", "1", "-progress")
+	if code != exitInterrupted {
+		t.Fatalf("code = %d, want %d\n%s", code, exitInterrupted, stderr)
+	}
+	if !strings.Contains(stderr, "no -cache-dir: completed results will be lost") {
+		t.Errorf("stderr lacks the results-lost warning:\n%s", stderr)
+	}
+}

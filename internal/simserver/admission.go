@@ -1,0 +1,126 @@
+package simserver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ShedError reports a request rejected by admission control: the token
+// bucket was empty and the waiter queue full. RetryAfter is the server's
+// estimate of when capacity frees up — surfaced to clients as a Retry-After
+// header on the 429 response.
+type ShedError struct {
+	RetryAfter time.Duration
+}
+
+// Error renders the shed reason with the retry hint.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admission queue full; retry after %v", e.RetryAfter)
+}
+
+// bucket is a token-bucket admission controller with a bounded waiter
+// queue. Tokens refill continuously at rate per second up to burst;
+// Acquire consumes one token, waiting (bounded by the queue and the
+// caller's context) when none is available, and shedding with a *ShedError
+// once the queue is full. All methods are safe for concurrent use.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	queue  int // current waiters
+	bound  int // waiter-queue capacity
+	// now is the clock seam for tests.
+	now func() time.Time
+}
+
+func newBucket(rate float64, burst, bound int) *bucket {
+	b := &bucket{rate: rate, burst: float64(burst), bound: bound, now: time.Now}
+	b.tokens = b.burst
+	b.last = b.now()
+	return b
+}
+
+// refill accrues tokens for the elapsed time. Callers hold mu.
+func (b *bucket) refill() {
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// retryAfter estimates when a shed request should come back: the time for
+// the deficit plus the whole waiter queue ahead of it to drain. Callers
+// hold mu (refill already applied).
+func (b *bucket) retryAfter() time.Duration {
+	need := 1 - b.tokens + float64(b.queue)
+	if need < 1 {
+		need = 1
+	}
+	d := time.Duration(need / b.rate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Waiters returns the current admission-queue depth (the gauge behind
+// simserver_admission_queue_depth).
+func (b *bucket) Waiters() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queue
+}
+
+// Acquire consumes one token, waiting while the bucket is empty. It returns
+// nil when admitted, a *ShedError when the waiter queue is full, and a
+// wrapped ctx error when the caller gives up first.
+func (b *bucket) Acquire(ctx context.Context) error {
+	b.mu.Lock()
+	b.refill()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		return nil
+	}
+	if b.queue >= b.bound {
+		retry := b.retryAfter()
+		b.mu.Unlock()
+		return &ShedError{RetryAfter: retry}
+	}
+	b.queue++
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.queue--
+		b.mu.Unlock()
+	}()
+	for {
+		b.mu.Lock()
+		b.refill()
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("admission wait: %w", ctx.Err())
+		case <-t.C:
+		}
+	}
+}

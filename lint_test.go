@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"atcsim/internal/metrics"
+	"atcsim/internal/simserver"
 	"atcsim/internal/system"
 	"atcsim/internal/telemetry"
 	"atcsim/internal/xlat"
@@ -186,6 +187,7 @@ func TestREADMEFlagTables(t *testing.T) {
 	for _, tool := range []struct{ heading, source string }{
 		{"#### `cmd/atcsim` flags", "cmd/atcsim/main.go"},
 		{"#### `cmd/figures` flags", "internal/figurescli/figurescli.go"},
+		{"#### `cmd/atcsimd` flags", "cmd/atcsimd/main.go"},
 	} {
 		src, err := os.ReadFile(tool.source)
 		if err != nil {
@@ -241,6 +243,8 @@ func TestUsageDocMentionsFlags(t *testing.T) {
 			[]string{"-mechanism", "-timing", "-metrics-addr", "-metrics-log", "-trace-out"}},
 		{"cmd/figures/main.go", "internal/figurescli/figurescli.go",
 			[]string{"-list-mechanisms", "-timing", "-metrics-addr", "-log-level", "-flight-recorder"}},
+		{"cmd/atcsimd/main.go", "cmd/atcsimd/main.go",
+			[]string{"-admit-rate", "-admit-queue", "-breaker-cooldown", "-drain-grace", "-flight-recorder"}},
 	} {
 		src, err := os.ReadFile(tool.source)
 		if err != nil {
@@ -273,6 +277,37 @@ func TestUsageDocMentionsFlags(t *testing.T) {
 			if !strings.Contains(doc, want) {
 				t.Errorf("%s package doc never shows %s", tool.docFile, want)
 			}
+		}
+	}
+}
+
+// TestServiceDocCoverage is the doc-lint half of the sweep service:
+// docs/SERVICE.md must mention every route the server actually mounts and
+// every simserver_* metric family it registers (adding an endpoint or a
+// series without documenting it fails here), and the service guide must be
+// reachable from README.md, EXPERIMENTS.md and DESIGN.md.
+func TestServiceDocCoverage(t *testing.T) {
+	guide, err := os.ReadFile("docs/SERVICE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range simserver.Routes() {
+		if !bytes.Contains(guide, []byte("`"+route+"`")) {
+			t.Errorf("docs/SERVICE.md does not document route %q", route)
+		}
+	}
+	for _, family := range simserver.MetricFamilies() {
+		if !bytes.Contains(guide, []byte("`"+family+"`")) {
+			t.Errorf("docs/SERVICE.md does not document metric family %q", family)
+		}
+	}
+	for _, linker := range []string{"README.md", "EXPERIMENTS.md", "DESIGN.md"} {
+		b, err := os.ReadFile(linker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(b, []byte("SERVICE.md")) {
+			t.Errorf("%s does not link docs/SERVICE.md", linker)
 		}
 	}
 }
