@@ -7,6 +7,8 @@
 //	atcsim -workload mcf -enhance tempo -instructions 500000
 //	atcsim -workload cc -llc-policy hawkeye -l2-prefetcher spp
 //	atcsim -workload pr -smt xalancbmk
+//	atcsim -multi pr,mcf,cc,xalancbmk                    # one core per workload
+//	atcsim -multi pr,mcf,cc,xalancbmk -sim-jobs 1        # same report, serial engine
 //	atcsim -workload pr -mechanism victima               # see docs/TRANSLATION.md
 //	atcsim -workload mcf -timing queued                  # bounded-queue timing engine
 //
@@ -39,6 +41,8 @@ func main() {
 	var (
 		workload  = flag.String("workload", "pr", "benchmark name ("+strings.Join(atcsim.Benchmarks(), ", ")+")")
 		smt       = flag.String("smt", "", "second benchmark for a 2-way SMT run")
+		multi     = flag.String("multi", "", "comma-separated benchmarks for a multi-core run (one core each, shared LLC/DRAM; overrides -workload)")
+		simJobs   = flag.Int("sim-jobs", 0, "worker goroutines for the intra-simulation parallel engine on multi-core runs (0 = one per CPU, 1 = serial; reports are byte-identical for any value)")
 		insts     = flag.Int("instructions", 300_000, "measured instructions per core")
 		warmup    = flag.Int("warmup", 100_000, "warmup instructions per core")
 		seed      = flag.Int64("seed", 1, "workload synthesis seed")
@@ -81,6 +85,12 @@ func main() {
 	if *hbOut != "" && *hbEvery <= 0 {
 		fail("-interval must be positive, got %d", *hbEvery)
 	}
+	if *simJobs < 0 {
+		usageFail("-sim-jobs must not be negative, got %d", *simJobs)
+	}
+	if *multi != "" && *smt != "" {
+		usageFail("-multi and -smt are mutually exclusive")
+	}
 
 	cfg := atcsim.DefaultConfig()
 	cfg.Instructions = *insts
@@ -90,6 +100,7 @@ func main() {
 	cfg.L1DPrefetcher = *l1dPf
 	cfg.L2Prefetcher = *l2Pf
 	cfg.TrackRecall = *recall
+	cfg.SimJobs = *simJobs
 	if !xlat.Registered(*mechanism) {
 		fail("unknown translation mechanism %q (have %s)", *mechanism, strings.Join(xlat.Names(), ", "))
 	}
@@ -195,13 +206,33 @@ func main() {
 	}
 
 	traceLen := *insts + *warmup
-	t0, err := atcsim.NewTrace(*workload, traceLen, *seed)
-	if err != nil {
-		fail("%v", err)
-	}
-
 	var res *atcsim.Result
-	if *smt != "" {
+	switch {
+	case *multi != "":
+		var traces []*atcsim.Trace
+		for i, name := range strings.Split(*multi, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				usageFail("-multi has an empty benchmark name")
+			}
+			// Per-core seeds mirror the SMT convention: core i runs the
+			// workload synthesized with seed+i.
+			tr, err := atcsim.NewTrace(name, traceLen, *seed+int64(i))
+			if err != nil {
+				fail("%v", err)
+			}
+			traces = append(traces, tr)
+		}
+		var err error
+		res, err = atcsim.RunMulti(cfg, traces...)
+		if err != nil {
+			fail("%v", err)
+		}
+	case *smt != "":
+		t0, err := atcsim.NewTrace(*workload, traceLen, *seed)
+		if err != nil {
+			fail("%v", err)
+		}
 		t1, err := atcsim.NewTrace(*smt, traceLen, *seed+1)
 		if err != nil {
 			fail("%v", err)
@@ -210,7 +241,11 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-	} else {
+	default:
+		t0, err := atcsim.NewTrace(*workload, traceLen, *seed)
+		if err != nil {
+			fail("%v", err)
+		}
 		res, err = atcsim.Run(cfg, t0)
 		if err != nil {
 			fail("%v", err)

@@ -16,6 +16,14 @@
 // ones) get -alloc-slack-pct of headroom before failing, since their counts
 // wiggle slightly with iteration count. ns/op is timing-sensitive on shared
 // runners, so slowdowns beyond -warn-pct only WARN.
+//
+// Compare two committed baselines (review aid, never fails):
+//
+//	benchcheck -compare BENCH_pr8.json BENCH_pr10.json
+//
+// prints a per-benchmark delta table — ns/op, allocs/op and the percentage
+// change of each — so a PR's performance story is readable straight from
+// its committed baseline files.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Entry is one benchmark's recorded performance.
@@ -48,13 +57,32 @@ func main() {
 	var (
 		update   = flag.String("update", "", "write parsed results to this baseline file and exit")
 		baseline = flag.String("baseline", "", "compare parsed results against this baseline file")
+		compares = flag.Bool("compare", false, "diff two baseline files given as arguments (old.json new.json) instead of reading stdin")
 		note     = flag.String("note", "", "note to embed when writing a baseline")
 		warnPct  = flag.Float64("warn-pct", 15, "warn when ns/op regresses more than this percentage")
 		slackPct = flag.Float64("alloc-slack-pct", 10, "allocs/op headroom for benchmarks with a nonzero baseline (zero baselines are exact)")
 	)
 	flag.Parse()
+	if *compares {
+		if *update != "" || *baseline != "" || flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchcheck: -compare takes exactly two baseline files and no other mode flags")
+			os.Exit(2)
+		}
+		old, err := loadBaseline(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		cur, err := loadBaseline(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(deltaTable(flag.Arg(0), flag.Arg(1), old.Benchmarks, cur.Benchmarks))
+		return
+	}
 	if (*update == "") == (*baseline == "") {
-		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -update or -baseline is required")
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -update, -baseline or -compare is required")
 		os.Exit(2)
 	}
 
@@ -83,14 +111,9 @@ func main() {
 		return
 	}
 
-	data, err := os.ReadFile(*baseline)
+	base, err := loadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		os.Exit(2)
-	}
-	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baseline, err)
 		os.Exit(2)
 	}
 
@@ -106,6 +129,66 @@ func main() {
 	if len(fails) > 0 {
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads and decodes a committed baseline file.
+func loadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// deltaTable renders a per-benchmark comparison of two baselines: ns/op and
+// allocs/op side by side with the percentage change of each, one row per
+// benchmark in sorted order. Benchmarks present on only one side are listed
+// as added/removed rather than silently dropped.
+func deltaTable(oldName, newName string, old, cur map[string]Entry) string {
+	names := make([]string, 0, len(old)+len(cur))
+	for n := range old {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := old[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tns/op (%s)\tns/op (%s)\tΔ%%\tallocs/op (%s)\tallocs/op (%s)\tΔ%%\n",
+		oldName, newName, oldName, newName)
+	pct := func(was, is float64) string {
+		if was == 0 {
+			if is == 0 {
+				return "0.0%"
+			}
+			return "new"
+		}
+		return fmt.Sprintf("%+.1f%%", (is/was-1)*100)
+	}
+	for _, n := range names {
+		o, inOld := old[n]
+		c, inCur := cur[n]
+		switch {
+		case !inOld:
+			fmt.Fprintf(tw, "%s\t-\t%.4g\tadded\t-\t%v\tadded\n", n, c.NsPerOp, c.AllocsPerOp)
+		case !inCur:
+			fmt.Fprintf(tw, "%s\t%.4g\t-\tremoved\t%v\t-\tremoved\n", n, o.NsPerOp, o.AllocsPerOp)
+		default:
+			fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%s\t%v\t%v\t%s\n",
+				n, o.NsPerOp, c.NsPerOp, pct(o.NsPerOp, c.NsPerOp),
+				o.AllocsPerOp, c.AllocsPerOp, pct(o.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	tw.Flush()
+	return b.String()
 }
 
 // parse extracts benchmark result lines from go test output. The -N GOMAXPROCS

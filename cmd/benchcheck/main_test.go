@@ -34,6 +34,47 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDeltaTable(t *testing.T) {
+	old := map[string]Entry{
+		"BenchmarkHot":     {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkSweep":   {NsPerOp: 2e6, AllocsPerOp: 5000},
+		"BenchmarkRetired": {NsPerOp: 50, AllocsPerOp: 1},
+	}
+	cur := map[string]Entry{
+		"BenchmarkHot":   {NsPerOp: 80, AllocsPerOp: 0},
+		"BenchmarkSweep": {NsPerOp: 1e6, AllocsPerOp: 5500},
+		"BenchmarkNew":   {NsPerOp: 42, AllocsPerOp: 3},
+	}
+	out := deltaTable("old.json", "new.json", old, cur)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 benchmarks
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, want := range []struct{ name, frag string }{
+		{"BenchmarkHot", "-20.0%"},      // ns/op improvement
+		{"BenchmarkSweep", "-50.0%"},    // ns/op halved
+		{"BenchmarkSweep", "+10.0%"},    // allocs/op regression visible
+		{"BenchmarkNew", "added"},       // only in new
+		{"BenchmarkRetired", "removed"}, // only in old
+	} {
+		found := false
+		for _, l := range lines {
+			if strings.HasPrefix(l, want.name) && strings.Contains(l, want.frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no row for %s containing %q:\n%s", want.name, want.frag, out)
+		}
+	}
+	// Rows are sorted by benchmark name.
+	if !(strings.Index(out, "BenchmarkHot") < strings.Index(out, "BenchmarkNew") &&
+		strings.Index(out, "BenchmarkNew") < strings.Index(out, "BenchmarkRetired")) {
+		t.Errorf("rows not sorted:\n%s", out)
+	}
+}
+
 func TestCompare(t *testing.T) {
 	base := map[string]Entry{
 		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},

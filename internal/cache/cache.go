@@ -119,29 +119,40 @@ func (s *Stats) AvgLatency(c mem.Class) float64 {
 	return float64(s.LatencySum[c]) / float64(s.Access[c])
 }
 
-type block struct {
-	valid    bool
-	line     mem.Addr
+// invalidTag marks an empty way in the tags array. Real tags are physical
+// line addresses (PhysBits ≤ 48 → below 2^42) or Victima's synthetic
+// tlbLineBit|VPN lines, so the all-ones pattern can never collide.
+const invalidTag = ^mem.Addr(0)
+
+// blockMeta holds the cold per-way flags in a struct-of-arrays layout: the
+// hot lookup state (tags, fill times) lives in dedicated flat arrays so a
+// set scan touches 8 bytes per way instead of a full 48-byte block struct.
+type blockMeta struct {
 	dirty    bool
-	class    mem.Class // class of the fill that brought the block in
 	reused   bool
-	prefetch bool // filled by a prefetch and not yet demanded
-	tlb      bool // Victima TLB block: payload holds a frame, not data
-	fillAt   int64
+	prefetch bool      // filled by a prefetch and not yet demanded
+	tlb      bool      // Victima TLB block: payload holds a frame, not data
+	class    mem.Class // class of the fill that brought the block in
 	fillSrc  mem.Level
-	payload  mem.Addr // physical frame base carried by a TLB block
 }
 
 // Cache is one level of the hierarchy. Not safe for concurrent use.
 type Cache struct {
-	cfg    Config
-	sets   int
-	ways   int
-	blocks []block
-	policy repl.Policy
-	lower  Lower
-	lowerC *Cache // lower when it is another *Cache: direct-call fast path
-	pf     Prefetcher
+	cfg  Config
+	sets int
+	ways int
+	// Set/way metadata in struct-of-arrays layout, indexed set*ways+way.
+	// tags combines the valid bit and line address (invalidTag = empty);
+	// find() and chooseWay() scan only tags, so a 16-way probe reads two
+	// cache lines instead of twelve.
+	tags    []mem.Addr
+	fillAt  []int64 // fill-completion cycle per way (MSHR merge window)
+	meta    []blockMeta
+	payload []mem.Addr // Victima frame per way; nil until EnableTLBBlocks
+	policy  repl.Policy
+	lower   Lower
+	lowerC  *Cache // lower when it is another *Cache: direct-call fast path
+	pf      Prefetcher
 
 	// Outstanding miss completion times for the MSHR occupancy model.
 	mshr []int64
@@ -202,16 +213,21 @@ func New(cfg Config, lower Lower) (*Cache, error) {
 		cfg:    cfg,
 		sets:   sets,
 		ways:   cfg.Ways,
-		blocks: make([]block, sets*cfg.Ways),
+		tags:   make([]mem.Addr, sets*cfg.Ways),
+		fillAt: make([]int64, sets*cfg.Ways),
+		meta:   make([]blockMeta, sets*cfg.Ways),
 		policy: pol,
 		lower:  lower,
 		mshr:   make([]int64, 0, cfg.MSHRs),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	if lc, ok := lower.(*Cache); ok {
 		c.lowerC = lc
 	}
 	c.evictableFn = func(w int) bool {
-		return c.blocks[c.victimBase+w].fillAt <= c.victimIssued
+		return c.fillAt[c.victimBase+w] <= c.victimIssued
 	}
 	if cfg.TrackRecall {
 		c.recall = newRecallTracker(sets)
@@ -298,7 +314,7 @@ func (c *Cache) setOf(line mem.Addr) int { return int(line) & (c.sets - 1) }
 func (c *Cache) find(set int, line mem.Addr) int {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if b := &c.blocks[base+w]; b.valid && b.line == line {
+		if c.tags[base+w] == line {
 			return w
 		}
 	}
@@ -391,30 +407,31 @@ func (c *Cache) Access(req *mem.Request, cycle int64) Result {
 
 	w := c.find(set, line)
 	if w >= 0 {
-		b := &c.blocks[set*c.ways+w]
+		i := set*c.ways + w
+		m := &c.meta[i]
 		c.st.Record(cl, false)
 		c.policy.Hit(set, w, c.access(req))
 		if req.Kind == mem.Store {
-			b.dirty = true
+			m.dirty = true
 		}
-		if b.prefetch && demand {
-			b.prefetch = false
-			if b.fillAt > cycle {
+		if m.prefetch && demand {
+			m.prefetch = false
+			if c.fillAt[i] > cycle {
 				c.st.PrefLate++
 			} else {
 				c.st.PrefUseful++
 			}
 		}
-		if b.fillAt > cycle {
+		if fa := c.fillAt[i]; fa > cycle {
 			// MSHR merge with the outstanding fill.
 			c.st.Merges++
-			c.st.LatencySum[cl] += uint64(b.fillAt - cycle)
+			c.st.LatencySum[cl] += uint64(fa - cycle)
 			if c.tr.Active() {
-				c.traceAccess(req, cycle, b.fillAt, b.fillSrc, "merge")
+				c.traceAccess(req, cycle, fa, m.fillSrc, "merge")
 			}
-			return Result{Ready: b.fillAt, Src: b.fillSrc}
+			return Result{Ready: fa, Src: m.fillSrc}
 		}
-		b.reused = true
+		m.reused = true
 		ready := cycle + c.cfg.Latency
 		c.st.LatencySum[cl] += uint64(ready - cycle)
 		if c.tr.Active() {
@@ -485,7 +502,7 @@ func (c *Cache) fill(set int, line mem.Addr, req *mem.Request, issued int64, res
 func (c *Cache) chooseWay(set int, a *repl.Access, issued int64) int {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if !c.blocks[base+w].valid {
+		if c.tags[base+w] == invalidTag {
 			return w
 		}
 	}
@@ -498,15 +515,17 @@ func (c *Cache) chooseWay(set int, a *repl.Access, issued int64) int {
 // evict removes the block at (set, way), writing it back when dirty and
 // recording eviction statistics.
 func (c *Cache) evict(set, way int, cycle int64) {
-	b := &c.blocks[set*c.ways+way]
-	if !b.valid {
+	i := set*c.ways + way
+	line := c.tags[i]
+	if line == invalidTag {
 		return
 	}
+	m := &c.meta[i]
 	if c.setUnder != nil {
 		// Train the underutilization predictor: sets that keep evicting
 		// never-reused blocks are good Victima real estate.
 		u := &c.setUnder[set]
-		if b.reused {
+		if m.reused {
 			if *u > 0 {
 				*u--
 			}
@@ -514,31 +533,31 @@ func (c *Cache) evict(set, way int, cycle int64) {
 			*u++
 		}
 	}
-	if b.tlb {
+	if m.tlb {
 		// TLB blocks are clean metadata: no writeback, and they stay out
 		// of the per-class memory-block eviction statistics.
 		c.st.TLBEvictions++
 		c.policy.Evicted(set, way)
-		b.valid = false
+		c.tags[i] = invalidTag
 		return
 	}
-	c.st.Evictions[b.class]++
-	if !b.reused {
-		c.st.DeadEvictions[b.class]++
+	c.st.Evictions[m.class]++
+	if !m.reused {
+		c.st.DeadEvictions[m.class]++
 	}
 	if c.recall != nil {
-		c.recall.evicted(set, b.line, b.class)
+		c.recall.evicted(set, line, m.class)
 	}
 	c.policy.Evicted(set, way)
-	if b.dirty {
+	c.tags[i] = invalidTag
+	if m.dirty {
 		c.st.Writebacks++
 		// Scratch writeback request: the lower level absorbs it before
 		// returning and never retains the pointer, and a nested eviction
 		// down there uses that level's own scratch.
-		c.wbReq = mem.Request{Addr: b.line << mem.LineBits, Kind: mem.Writeback}
+		c.wbReq = mem.Request{Addr: line << mem.LineBits, Kind: mem.Writeback}
 		c.lowerAccess(&c.wbReq, cycle)
 	}
-	b.valid = false
 }
 
 // absorbWriteback handles a writeback arriving from the level above:
@@ -546,7 +565,7 @@ func (c *Cache) evict(set, way int, cycle int64) {
 func (c *Cache) absorbWriteback(set int, line mem.Addr, cycle int64, req *mem.Request) {
 	c.st.Record(mem.ClassWriteback, false)
 	if w := c.find(set, line); w >= 0 {
-		c.blocks[set*c.ways+w].dirty = true
+		c.meta[set*c.ways+w].dirty = true
 		return
 	}
 	// Allocate without fetching (full-line writeback).
@@ -598,9 +617,8 @@ func (c *Cache) Prefetch(line mem.Addr, cycle int64, distant bool) int64 {
 func (c *Cache) prefetchNow(line mem.Addr, cycle int64, distant bool) int64 {
 	set := c.setOf(line)
 	if w := c.find(set, line); w >= 0 {
-		b := &c.blocks[set*c.ways+w]
-		if b.fillAt > cycle {
-			return b.fillAt
+		if fa := c.fillAt[set*c.ways+w]; fa > cycle {
+			return fa
 		}
 		return cycle
 	}
@@ -640,17 +658,19 @@ func (c *Cache) prefetchNow(line mem.Addr, cycle int64, distant bool) int64 {
 func (c *Cache) fillWith(set int, line mem.Addr, a *repl.Access, req *mem.Request, issued int64, res Result) {
 	way := c.chooseWay(set, a, issued)
 	c.evict(set, way, res.Ready)
-	b := &c.blocks[set*c.ways+way]
-	*b = block{
-		valid: true,
-		line:  line,
+	i := set*c.ways + way
+	c.tags[i] = line
+	c.fillAt[i] = res.Ready
+	c.meta[i] = blockMeta{
 		// Writeback-allocated lines hold the only copy of the dirty data;
 		// they must leave dirty or the write is lost on eviction.
 		dirty:    req.Kind == mem.Store || req.Kind == mem.Writeback,
 		class:    req.Class(),
 		prefetch: req.Kind == mem.Prefetch,
-		fillAt:   res.Ready,
 		fillSrc:  res.Src,
+	}
+	if c.payload != nil {
+		c.payload[i] = 0
 	}
 	c.policy.Insert(set, way, a)
 }

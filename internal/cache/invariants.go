@@ -15,8 +15,8 @@ func (c *Cache) SetContents(set int) []mem.Addr {
 	out := make([]mem.Addr, 0, c.ways)
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		if b := &c.blocks[base+w]; b.valid {
-			out = append(out, b.line)
+		if c.tags[base+w] != invalidTag {
+			out = append(out, c.tags[base+w])
 		}
 	}
 	return out
@@ -38,21 +38,21 @@ func (c *Cache) CheckInvariants() error {
 	for set := 0; set < c.sets; set++ {
 		base := set * c.ways
 		for w := 0; w < c.ways; w++ {
-			b := &c.blocks[base+w]
-			if !b.valid {
+			line := c.tags[base+w]
+			if line == invalidTag {
 				continue
 			}
-			if got := c.setOf(b.line); got != set {
+			if got := c.setOf(line); got != set {
 				return fmt.Errorf("cache %s: block line %#x stored in set %d but maps to set %d",
-					c.cfg.Name, b.line, set, got)
+					c.cfg.Name, line, set, got)
 			}
-			if err := c.checkTLBBlock(b, set, w); err != nil {
+			if err := c.checkTLBBlock(base+w, set, w); err != nil {
 				return err
 			}
 			for w2 := w + 1; w2 < c.ways; w2++ {
-				if b2 := &c.blocks[base+w2]; b2.valid && b2.line == b.line {
+				if c.tags[base+w2] == line {
 					return fmt.Errorf("cache %s: duplicate tag %#x in set %d (ways %d and %d)",
-						c.cfg.Name, b.line, set, w, w2)
+						c.cfg.Name, line, set, w, w2)
 				}
 			}
 		}

@@ -29,6 +29,7 @@ func (c *Cache) EnableTLBBlocks() {
 	for i := range c.setUnder {
 		c.setUnder[i] = 3
 	}
+	c.payload = make([]mem.Addr, c.sets*c.ways)
 }
 
 // PredictUnderutilized reports whether the set holding line looks like a
@@ -51,21 +52,17 @@ func (c *Cache) InsertTLBEntry(line, frame mem.Addr, cycle int64) bool {
 	}
 	set := c.setOf(line)
 	if w := c.find(set, line); w >= 0 {
-		c.blocks[set*c.ways+w].payload = frame
+		c.payload[set*c.ways+w] = frame
 		return true
 	}
 	c.acc = repl.Access{Line: line, Class: mem.ClassTransLeaf, Kind: mem.Translation}
 	way := c.chooseWay(set, &c.acc, cycle)
 	c.evict(set, way, cycle)
-	c.blocks[set*c.ways+way] = block{
-		valid:   true,
-		line:    line,
-		class:   mem.ClassTransLeaf,
-		tlb:     true,
-		payload: frame,
-		fillAt:  cycle,
-		fillSrc: c.cfg.Level,
-	}
+	i := set*c.ways + way
+	c.tags[i] = line
+	c.fillAt[i] = cycle
+	c.meta[i] = blockMeta{class: mem.ClassTransLeaf, tlb: true, fillSrc: c.cfg.Level}
+	c.payload[i] = frame
 	c.policy.Insert(set, way, &c.acc)
 	c.st.TLBInserts++
 	return true
@@ -84,28 +81,28 @@ func (c *Cache) LookupTLBEntry(line mem.Addr, cycle int64) (frame mem.Addr, read
 	if w < 0 {
 		return 0, 0, false
 	}
-	b := &c.blocks[set*c.ways+w]
-	if !b.tlb {
+	i := set*c.ways + w
+	if !c.meta[i].tlb {
 		return 0, 0, false
 	}
 	c.acc = repl.Access{Line: line, Class: mem.ClassTransLeaf, Kind: mem.Translation}
 	c.policy.Hit(set, w, &c.acc)
-	b.reused = true
+	c.meta[i].reused = true
 	ready = cycle + c.cfg.Latency
-	if b.fillAt > cycle {
-		ready = b.fillAt
+	if fa := c.fillAt[i]; fa > cycle {
+		ready = fa
 	}
 	c.st.TLBHits++
-	return b.payload, ready, true
+	return c.payload[i], ready, true
 }
 
 // VisitTLBEntries calls fn for every resident TLB block, stopping at the
 // first error. The validate oracle uses this to confirm each cached
 // translation against the radix walk.
 func (c *Cache) VisitTLBEntries(fn func(line, frame mem.Addr) error) error {
-	for i := range c.blocks {
-		if b := &c.blocks[i]; b.valid && b.tlb {
-			if err := fn(b.line, b.payload); err != nil {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag && c.meta[i].tlb {
+			if err := fn(c.tags[i], c.payload[i]); err != nil {
 				return err
 			}
 		}
@@ -113,16 +110,17 @@ func (c *Cache) VisitTLBEntries(fn func(line, frame mem.Addr) error) error {
 	return nil
 }
 
-// checkTLBBlock validates per-block TLB invariants for CheckInvariants.
-func (c *Cache) checkTLBBlock(b *block, set, way int) error {
-	if !b.tlb {
+// checkTLBBlock validates per-block TLB invariants for CheckInvariants; i is
+// the flat set*ways+way index of a valid block.
+func (c *Cache) checkTLBBlock(i, set, way int) error {
+	if !c.meta[i].tlb {
 		return nil
 	}
 	if c.setUnder == nil {
-		return fmt.Errorf("cache %s: TLB block %#x at set %d way %d without EnableTLBBlocks", c.cfg.Name, b.line, set, way)
+		return fmt.Errorf("cache %s: TLB block %#x at set %d way %d without EnableTLBBlocks", c.cfg.Name, c.tags[i], set, way)
 	}
-	if b.dirty {
-		return fmt.Errorf("cache %s: dirty TLB block %#x at set %d way %d", c.cfg.Name, b.line, set, way)
+	if c.meta[i].dirty {
+		return fmt.Errorf("cache %s: dirty TLB block %#x at set %d way %d", c.cfg.Name, c.tags[i], set, way)
 	}
 	return nil
 }

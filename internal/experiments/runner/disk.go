@@ -17,8 +17,11 @@ import (
 // different version are ignored (treated as misses), so bumping this after
 // an incompatible change to the result or key layout invalidates stale
 // caches instead of mis-deserializing them. Version 2 added the result
-// checksum.
-const FormatVersion = 2
+// checksum. Version 3 invalidates multi-core results computed by the
+// pre-parallel serial scheduler: eligible multi-core machines now prefault
+// their trace footprints and resolve shared accesses at cycle-window
+// barriers, which changes their (still deterministic) numbers.
+const FormatVersion = 3
 
 // Disk is an on-disk result store: one JSON file per run key, named by the
 // key's hash. Writes are crash-safe: the entry is written to a temp file in

@@ -19,9 +19,13 @@ import (
 
 // coreCtx is the per-hardware-thread state of a run.
 type coreCtx struct {
-	id     int
-	tr     *trace.Trace
-	pos    int
+	id int
+	tr *trace.Trace
+	// cur streams the trace through a fixed per-core ring buffer
+	// (trace.CursorBlock instructions per refill): each core reads its own
+	// resident window instead of sharing one big instruction slice, which
+	// matters once cores step on separate goroutines.
+	cur    *trace.Cursor
 	core   *cpu.Core
 	bp     *cpu.Perceptron
 	mmu    *ptw.MMU
@@ -82,6 +86,12 @@ type sim struct {
 	// all models is validated; violations panic.
 	checking bool
 	checkCtr int
+
+	// par is the deterministic barrier-parallel engine, non-nil only for
+	// eligible multi-core machines (see parallelEligible). When set, phases
+	// run one goroutine per core with shared LLC/DRAM requests resolved in
+	// canonical core order at cycle-window barriers.
+	par *parEngine
 }
 
 // Run simulates a single-core machine over one trace.
@@ -165,6 +175,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 
 	s := &sim{cfg: cfg, llc: llc, channel: channel}
 	s.checking = cfg.CheckInvariants || invariantsDefault
+	parallel := parallelEligible(cfg, len(traces), shareCoreCaches)
 
 	// Under queued timing every level sits behind a cache.Queued wrapper;
 	// lower-pointer chaining goes through the wrappers so evict writebacks
@@ -183,6 +194,14 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		llcPath = q
 	}
 
+	// Eligible multi-core machines run under the barrier-parallel engine:
+	// each core's private L2 then points at a per-core portal instead of
+	// the shared LLC path, so shared accesses park at the coordinator and
+	// resolve in canonical core order (see parallel.go).
+	if parallel {
+		s.par = newParEngine(s, llcPath, len(traces))
+	}
+
 	// coreCaches bundles one core group's caches with the access paths the
 	// core (and walker) issue into.
 	type coreCaches struct {
@@ -190,11 +209,15 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		l1iPath, l1dPath cache.Lower
 	}
 	var shared *coreCaches
-	newCoreCaches := func() (coreCaches, error) {
+	newCoreCaches := func(core int) (coreCaches, error) {
 		var cc coreCaches
+		l2Lower := llcPath
+		if s.par != nil {
+			l2Lower = s.par.portal(core)
+		}
 		l2Cfg := cfg.L2
 		l2Cfg.TrackRecall = cfg.TrackRecall
-		l2, err := cache.New(l2Cfg, llcPath)
+		l2, err := cache.New(l2Cfg, l2Lower)
 		if err != nil {
 			return cc, err
 		}
@@ -231,7 +254,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		var cc coreCaches
 		if shareCoreCaches {
 			if shared == nil {
-				cc, err = newCoreCaches()
+				cc, err = newCoreCaches(i)
 				if err != nil {
 					return nil, err
 				}
@@ -241,7 +264,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 			}
 			cc = *shared
 		} else {
-			cc, err = newCoreCaches()
+			cc, err = newCoreCaches(i)
 			if err != nil {
 				return nil, err
 			}
@@ -256,6 +279,14 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		}
 		if cfg.HugePages {
 			if err := pt.SetHugePages(true); err != nil {
+				return nil, err
+			}
+		}
+		if s.par != nil {
+			// Pin the shared frame allocator's assignment order at build
+			// time (canonical core order) so concurrent cores never
+			// demand-allocate; see prefault.
+			if err := prefault(pt, tr); err != nil {
 				return nil, err
 			}
 		}
@@ -324,6 +355,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 		s.cores = append(s.cores, &coreCtx{
 			id:      i,
 			tr:      tr,
+			cur:     trace.NewCursor(tr),
 			core:    core,
 			bp:      cpu.NewPerceptron(),
 			mmu:     mmu,
@@ -360,11 +392,7 @@ func build(cfg Config, traces []*trace.Trace, shareCoreCaches bool) (*sim, error
 
 // step executes one instruction on core c.
 func (s *sim) step(c *coreCtx) {
-	in := &c.tr.Insts[c.pos]
-	c.pos++
-	if c.pos == len(c.tr.Insts) {
-		c.pos = 0 // replay the trace cyclically
-	}
+	in := c.cur.Next() // replays the trace cyclically
 
 	d := c.core.NextDispatch()
 
@@ -601,10 +629,21 @@ func (s *sim) snapshot() telemetry.Snapshot {
 	return sn
 }
 
+// runPhase dispatches one warmup/measurement phase to the active scheduler:
+// the barrier-parallel engine when wired, the serial interleaved phase loop
+// otherwise.
+func (s *sim) runPhase(target int) {
+	if s.par != nil {
+		s.par.phase(target)
+		return
+	}
+	s.phase(target)
+}
+
 // run executes warmup + measurement and collects results.
 func (s *sim) run() *Result {
 	if s.cfg.Warmup > 0 {
-		s.phase(s.cfg.Warmup)
+		s.runPhase(s.cfg.Warmup)
 	}
 	s.resetStats()
 	for _, c := range s.cores {
@@ -619,7 +658,7 @@ func (s *sim) run() *Result {
 		s.hb.Begin(s.snapshot())
 	}
 	s.measuring = true
-	s.phase(s.cfg.Instructions)
+	s.runPhase(s.cfg.Instructions)
 	s.measuring = false
 	if s.hb != nil && s.stepped > s.ticked {
 		// Flush the final partial interval so the rows' instruction counts

@@ -10,23 +10,23 @@ func (t *TLB) CheckInvariants() error {
 	for set := 0; set < t.sets; set++ {
 		base := set * t.ways
 		for w := 0; w < t.ways; w++ {
-			e := &t.ents[base+w]
-			if !e.valid {
+			vpn := t.vpns[base+w]
+			if vpn == invalidVPN {
 				continue
 			}
-			if got := t.setOf(e.vpn); got != set {
+			if got := t.setOf(vpn); got != set {
 				return fmt.Errorf("tlb %s: vpn %#x stored in set %d but maps to set %d",
-					t.cfg.Name, e.vpn, set, got)
+					t.cfg.Name, vpn, set, got)
 			}
 			for w2 := w + 1; w2 < t.ways; w2++ {
-				if e2 := &t.ents[base+w2]; e2.valid && e2.vpn == e.vpn {
+				if t.vpns[base+w2] == vpn {
 					return fmt.Errorf("tlb %s: duplicate vpn %#x in set %d (ways %d and %d)",
-						t.cfg.Name, e.vpn, set, w, w2)
+						t.cfg.Name, vpn, set, w, w2)
 				}
 			}
-			if e.stamp > t.clock {
+			if st := t.stamps[base+w]; st > t.clock {
 				return fmt.Errorf("tlb %s: entry vpn %#x stamp %d ahead of clock %d",
-					t.cfg.Name, e.vpn, e.stamp, t.clock)
+					t.cfg.Name, vpn, st, t.clock)
 			}
 		}
 	}

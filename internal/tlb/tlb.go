@@ -33,23 +33,25 @@ type Stats struct {
 	Evictions uint64 // valid 4KB entries displaced by Insert
 }
 
-type entry struct {
-	valid bool
-	vpn   mem.Addr
-	frame mem.Addr // physical frame base
-	stamp uint64
-}
+// invalidVPN marks an empty way in the vpns array. Real VPNs are virtual
+// addresses shifted right by the page bits, so the all-ones pattern can
+// never collide with one.
+const invalidVPN = ^mem.Addr(0)
 
 // TLB is a set-associative virtual-page to physical-frame cache with LRU
-// replacement.
+// replacement. Entries are stored struct-of-arrays, indexed set*ways+way:
+// the lookup scan touches only the vpns array (valid bit folded into the
+// invalidVPN sentinel), one cache line per 8 ways instead of one per 2.
 type TLB struct {
-	cfg   Config
-	sets  int
-	ways  int
-	ents  []entry
-	clock uint64
-	st    Stats
-	tr    *telemetry.Tracer
+	cfg    Config
+	sets   int
+	ways   int
+	vpns   []mem.Addr
+	frames []mem.Addr // physical frame base per way
+	stamps []uint64   // LRU stamps per way
+	clock  uint64
+	st     Stats
+	tr     *telemetry.Tracer
 
 	// evictHook, when set, observes every valid 4KB entry displaced by
 	// Insert (Victima re-parks these in the data caches). Huge-page
@@ -90,7 +92,15 @@ func New(cfg Config) (*TLB, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("tlb %s: set count %d not a power of two", cfg.Name, sets)
 	}
-	t := &TLB{cfg: cfg, sets: sets, ways: cfg.Ways, ents: make([]entry, cfg.Entries)}
+	t := &TLB{
+		cfg: cfg, sets: sets, ways: cfg.Ways,
+		vpns:   make([]mem.Addr, cfg.Entries),
+		frames: make([]mem.Addr, cfg.Entries),
+		stamps: make([]uint64, cfg.Entries),
+	}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
+	}
 	if cfg.TrackRecall {
 		t.recSeq = make([]uint64, sets)
 		t.recLast = make([]mem.Addr, sets)
@@ -169,11 +179,10 @@ func (t *TLB) Lookup(va mem.Addr) (frame mem.Addr, hit bool) {
 	t.observeRecall(set, vpn)
 	base := set * t.ways
 	for w := 0; w < t.ways; w++ {
-		e := &t.ents[base+w]
-		if e.valid && e.vpn == vpn {
+		if t.vpns[base+w] == vpn {
 			t.clock++
-			e.stamp = t.clock
-			return e.frame, true
+			t.stamps[base+w] = t.clock
+			return t.frames[base+w], true
 		}
 	}
 	t.st.Misses++
@@ -189,36 +198,36 @@ func (t *TLB) Insert(va, frame mem.Addr) {
 	victim := 0
 	var victimStamp uint64 = ^uint64(0)
 	for w := 0; w < t.ways; w++ {
-		e := &t.ents[base+w]
-		if e.valid && e.vpn == vpn {
+		i := base + w
+		if t.vpns[i] == vpn {
 			// Refresh an existing entry.
-			e.frame = frame
+			t.frames[i] = frame
 			t.clock++
-			e.stamp = t.clock
+			t.stamps[i] = t.clock
 			return
 		}
-		if !e.valid {
+		if t.vpns[i] == invalidVPN {
 			victim = w
 			victimStamp = 0
-		} else if e.stamp < victimStamp {
+		} else if t.stamps[i] < victimStamp {
 			victim = w
-			victimStamp = e.stamp
+			victimStamp = t.stamps[i]
 		}
 	}
-	e := &t.ents[base+victim]
-	if e.valid {
+	i := base + victim
+	if old := t.vpns[i]; old != invalidVPN {
 		t.st.Evictions++
-		t.evictRecall(set, e.vpn)
+		t.evictRecall(set, old)
 		if t.evictHook != nil {
-			t.evictHook(e.vpn, e.frame)
+			t.evictHook(old, t.frames[i])
 		}
 		if t.tr.Active() {
 			t.tr.Instant("tlb", t.cfg.Name+" evict", telemetry.LaneMMU,
-				telemetry.IArg("vpn", int64(e.vpn)), telemetry.IArg("set", int64(set)))
+				telemetry.IArg("vpn", int64(old)), telemetry.IArg("set", int64(set)))
 		}
 	}
 	t.clock++
-	*e = entry{valid: true, vpn: vpn, frame: frame, stamp: t.clock}
+	t.vpns[i], t.frames[i], t.stamps[i] = vpn, frame, t.clock
 }
 
 func (t *TLB) observeRecall(set int, vpn mem.Addr) {

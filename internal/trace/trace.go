@@ -89,13 +89,21 @@ func (t *Trace) Stats() Stats {
 	return s
 }
 
+// BuilderBlock is the fixed instruction-block size the Builder accumulates
+// into. Kernels emit into bounded blocks instead of one contiguous
+// limit-sized slice, so building a trace never commits the full budget's
+// memory up front (kernels routinely emit less than their limit) and the
+// final assembly is one sequential copy per block.
+const BuilderBlock = 4096
+
 // Builder accumulates instructions up to a limit. Workload kernels check
 // Full in their outer loops and stop emitting when the budget is reached.
 type Builder struct {
 	name   string
 	limit  int
+	n      int
 	ipBase mem.Addr
-	insts  []Inst
+	blocks [][]Inst
 }
 
 // NewBuilder creates a builder for a trace of at most limit instructions.
@@ -107,7 +115,6 @@ func NewBuilder(name string, limit int) (*Builder, error) {
 		name:   name,
 		limit:  limit,
 		ipBase: 0x40_0000,
-		insts:  make([]Inst, 0, limit),
 	}, nil
 }
 
@@ -121,10 +128,10 @@ func MustNewBuilder(name string, limit int) *Builder {
 }
 
 // Full reports whether the instruction budget is exhausted.
-func (b *Builder) Full() bool { return len(b.insts) >= b.limit }
+func (b *Builder) Full() bool { return b.n >= b.limit }
 
 // Len returns the number of instructions emitted so far.
-func (b *Builder) Len() int { return len(b.insts) }
+func (b *Builder) Len() int { return b.n }
 
 // ip converts a small static site label into a distinct instruction
 // pointer. Distinct sites get distinct IPs, which is what IP-signature
@@ -135,7 +142,16 @@ func (b *Builder) emit(i Inst) {
 	if b.Full() {
 		return
 	}
-	b.insts = append(b.insts, i)
+	if len(b.blocks) == 0 || len(b.blocks[len(b.blocks)-1]) == cap(b.blocks[len(b.blocks)-1]) {
+		size := BuilderBlock
+		if rest := b.limit - b.n; rest < size {
+			size = rest
+		}
+		b.blocks = append(b.blocks, make([]Inst, 0, size))
+	}
+	last := len(b.blocks) - 1
+	b.blocks[last] = append(b.blocks[last], i)
+	b.n++
 }
 
 // ALU emits n arithmetic instructions at the given site.
@@ -166,7 +182,12 @@ func (b *Builder) Branch(site int, taken bool) {
 	b.emit(Inst{IP: b.ip(site), Op: OpBranch, Taken: taken})
 }
 
-// Build finalizes the trace.
+// Build finalizes the trace: the accumulated blocks are assembled into one
+// contiguous instruction stream sized exactly to what was emitted.
 func (b *Builder) Build() *Trace {
-	return &Trace{Name: b.name, Insts: b.insts}
+	insts := make([]Inst, 0, b.n)
+	for _, blk := range b.blocks {
+		insts = append(insts, blk...)
+	}
+	return &Trace{Name: b.name, Insts: insts}
 }

@@ -7,7 +7,12 @@ import (
 	"atcsim/internal/mem"
 )
 
-func init() { Register("victima", newVictima) }
+func init() {
+	Register("victima", newVictima)
+	// Victima's translate path probes and fills the shared LLC, so it must
+	// run under the serial scheduler even on multi-core machines.
+	MarkShared("victima")
+}
 
 // tlbLineBit tags the synthetic line-address namespace Victima's TLB blocks
 // occupy inside the data caches. Physical line numbers fit in PhysBits-6 ≤
